@@ -1,0 +1,50 @@
+package sqlsheet
+
+import (
+	"sqlsheet/internal/apb"
+)
+
+// APBScale sizes the bundled APB-1-style benchmark dataset (the workload of
+// the paper's experiments). Zero fields take laptop-scale defaults.
+type APBScale struct {
+	// Seed drives the deterministic generator.
+	Seed int64
+	// ProductFanout gives children-per-node for the 6 levels below the
+	// product hierarchy's top (7 levels total).
+	ProductFanout []int
+	// Channels / Customers are base member counts; Years sizes the time
+	// dimension (12 months per year).
+	Channels  int
+	Customers int
+	Years     int
+	// Density is the fact-table density; the paper's experiments use 0.1.
+	Density float64
+}
+
+// APBInfo summarizes an installed dataset.
+type APBInfo struct {
+	FactRows, CubeRows, Products, Months int
+}
+
+// InstallAPB generates the APB dataset and registers its tables:
+// apb_fact(c,h,t,p,s), apb_cube(c,h,t,p,s), product_dt(p, parent1, parent2,
+// parent3, lvl) and time_dt(m, m_yago, m_qago).
+func (db *DB) InstallAPB(scale APBScale) (APBInfo, error) {
+	d := apb.Generate(apb.Config{
+		Seed:          scale.Seed,
+		ProductFanout: scale.ProductFanout,
+		Channels:      scale.Channels,
+		Customers:     scale.Customers,
+		Years:         scale.Years,
+		Density:       scale.Density,
+	})
+	if err := d.Install(db.cat); err != nil {
+		return APBInfo{}, err
+	}
+	return APBInfo{
+		FactRows: len(d.Fact),
+		CubeRows: len(d.Cube),
+		Products: len(d.Products),
+		Months:   len(d.Months),
+	}, nil
+}

@@ -1,0 +1,60 @@
+// Command apbgen generates the APB-1-style benchmark dataset as CSV files
+// (apb_fact.csv, apb_cube.csv, product_dt.csv, time_dt.csv) for use outside
+// the embedded engine.
+//
+// Usage:
+//
+//	apbgen [-out DIR] [-seed N] [-channels N] [-customers N] [-years N] [-density F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sqlsheet/internal/apb"
+	"sqlsheet/internal/catalog"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "generator seed")
+	channels := flag.Int("channels", 0, "base channel members")
+	customers := flag.Int("customers", 0, "base customer members")
+	years := flag.Int("years", 0, "years of months")
+	density := flag.Float64("density", 0, "fact table density (paper: 0.1)")
+	flag.Parse()
+
+	d := apb.Generate(apb.Config{
+		Seed:      *seed,
+		Channels:  *channels,
+		Customers: *customers,
+		Years:     *years,
+		Density:   *density,
+	})
+	cat := catalog.New()
+	if err := d.Install(cat); err != nil {
+		fatal(err)
+	}
+	for _, name := range cat.Names() {
+		t, _ := cat.Get(name)
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d rows\n", path, len(t.Rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation (§6): Table 1 and
+// Figures 2–5, printing each as a relative-units table the way the paper
+// reports its results.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig2|fig3|fig4|fig5] [-scale small|default|large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"sqlsheet"
+	"sqlsheet/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: all, table1, fig2, fig3, fig4, fig5")
+	scaleFlag := flag.String("scale", "default", "dataset scale: small, default, large")
+	flag.Parse()
+
+	var scale sqlsheet.APBScale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.SmallScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "large":
+		scale = sqlsheet.APBScale{
+			Seed: 1, ProductFanout: []int{2, 3, 3, 3, 4, 4},
+			Channels: 3, Customers: 6, Years: 2, Density: 0.1,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *expFlag != "all" && *expFlag != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	db, info, err := experiments.Setup(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	_ = db
+	fmt.Printf("APB dataset: %d fact rows, %d cube rows, %d products, %d months\n\n",
+		info.FactRows, info.CubeRows, info.Products, info.Months)
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: mapping between m and m_yago/m_qago")
+		fmt.Println("============================================")
+		fmt.Printf("%-10s %-10s %-10s\n", "m", "m_yago", "m_qago")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-10s %-10s\n", r[0], r[1], r[2])
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("fig2", func() error {
+		sels := []float64{0.002, 0.004, 0.006, 0.008, 0.010, 0.012}
+		series, err := experiments.Fig2(scale, sels)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 2: pushing predicates (relative units of time)", "selectivity", series))
+		return nil
+	})
+
+	run("fig3", func() error {
+		series, err := experiments.Fig3(scale, []int{1, 2, 3, 4, 6, 8, 10, 12, 14})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 3: hash join vs. SQL spreadsheet (relative units of time)", "# rules", series))
+		return nil
+	})
+
+	run("fig4", func() error {
+		dops := []int{1, 2, 4}
+		if n := runtime.NumCPU(); n >= 8 {
+			dops = append(dops, 8)
+		}
+		series, err := experiments.Fig4(scale, []int{1, 2, 4, 6, 8, 10, 12}, dops)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 4a: scalability with number of formulas (serial)", "# formulas", series[:1]))
+		fmt.Println(experiments.FormatSeries(
+			"Figure 4b: parallel execution (time at max formulas)", "# PEs", series[1:]))
+		return nil
+	})
+
+	run("fig5", func() error {
+		pcts := []int{20, 40, 60, 80, 100, 120}
+		// Fig. 5 needs partitions much larger than a block; use the
+		// dedicated scale regardless of -scale (see experiments.Fig5Scale).
+		s, loads, err := experiments.Fig5(experiments.Fig5Scale, pcts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 5: scalability with size of physical memory", "% of largest partition",
+			[]experiments.Series{s}))
+		fmt.Printf("%-24s", "block loads:")
+		for _, l := range loads {
+			fmt.Printf("%10d", l)
+		}
+		fmt.Println()
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,154 @@
+// Command sqlsheet is an interactive shell (and script runner) for the
+// spreadsheet-SQL engine.
+//
+// Usage:
+//
+//	sqlsheet                 # interactive REPL
+//	sqlsheet -f script.sql   # run a ';'-separated script
+//	sqlsheet -apb            # preload the APB benchmark dataset
+//
+// Meta commands inside the REPL:
+//
+//	\d               list tables
+//	\explain <sql>   show the optimized plan
+//	\load <table> <file.csv>
+//	\q               quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlsheet"
+)
+
+func main() {
+	file := flag.String("f", "", "run the given SQL script and exit")
+	apb := flag.Bool("apb", false, "preload the APB benchmark dataset")
+	parallel := flag.Int("parallel", 0, "spreadsheet degree of parallelism")
+	flag.Parse()
+
+	db := sqlsheet.Open()
+	if *parallel > 0 {
+		cfg := db.Options()
+		cfg.Parallel = *parallel
+		db.Configure(cfg)
+	}
+	if *apb {
+		info, err := db.InstallAPB(sqlsheet.APBScale{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded APB dataset: %d cube rows, %d fact rows\n", info.CubeRows, info.FactRows)
+	}
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := db.Exec(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		if res != nil {
+			fmt.Print(res)
+		}
+		return
+	}
+
+	fmt.Println("sqlsheet — Spreadsheets in RDBMS for OLAP (SIGMOD 2003). \\q to quit.")
+	repl(db)
+}
+
+func repl(db *sqlsheet.DB) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "  -> "
+			continue
+		}
+		prompt = "sql> "
+		sql := buf.String()
+		buf.Reset()
+		res, err := db.Exec(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if res != nil {
+			fmt.Print(res)
+		}
+	}
+}
+
+// meta handles backslash commands; returns false to quit.
+func meta(db *sqlsheet.DB, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\d":
+		for _, t := range db.Tables() {
+			fmt.Printf("%s (%d rows)\n", t, db.TableRows(t))
+		}
+		for _, v := range db.Views() {
+			fmt.Printf("%s (view)\n", v)
+		}
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		sql = strings.TrimSuffix(sql, ";")
+		out, err := db.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(out)
+	case "\\load":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\load <table> <file.csv>")
+			return true
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		defer f.Close()
+		n, err := db.LoadCSV(fields[1], f, true)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("loaded %d rows\n", n)
+	default:
+		fmt.Println("unknown command; try \\d, \\explain, \\load, \\q")
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlsheet:", err)
+	os.Exit(1)
+}

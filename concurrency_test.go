@@ -1,0 +1,78 @@
+package sqlsheet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries runs many spreadsheet queries against one DB from
+// parallel goroutines (each with internal PE parallelism); run under
+// -race this guards the executor's shared-state discipline.
+func TestConcurrentQueries(t *testing.T) {
+	db := newFactDB(t)
+	cfg := db.Options()
+	cfg.Parallel = 2
+	db.Configure(cfg)
+	q := `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( s[*, 2003] = s[cv(p), 2002] * 1.5,
+		  UPSERT s['video', 2003] = s['tv', 2003] + s['vcr', 2003] )`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != len(want.Rows) {
+					errs <- fmt.Errorf("row count %d != %d", len(res.Rows), len(want.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillPlusParallel combines the memory-budgeted store with parallel
+// PEs — the paper's big-data configuration.
+func TestSpillPlusParallel(t *testing.T) {
+	db := newFactDB(t)
+	q := `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( s[*, 2002] = avg(s)[cv(p), 1995 <= t <= 2001] )`
+	plain, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := db.Options()
+	cfg.Parallel = 4
+	cfg.Buckets = 6
+	cfg.MemoryBudget = 1500
+	cfg.SpillDir = t.TempDir()
+	db.Configure(cfg)
+	res, stats, err := db.QueryStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlockEvictions == 0 {
+		t.Error("expected spill activity")
+	}
+	if !sameResults(plain, res) {
+		t.Fatal("spill+parallel changed results")
+	}
+}

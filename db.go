@@ -1,0 +1,343 @@
+// Package sqlsheet is an embeddable SQL engine implementing the SQL
+// spreadsheet clause of Witkowski et al., "Spreadsheets in RDBMS for OLAP"
+// (SIGMOD 2003) — the design that became the Oracle MODEL clause.
+//
+// Relations are treated as n-dimensional arrays: the SPREADSHEET clause
+// classifies a query's columns into PARTITION BY (PBY), DIMENSION BY (DBY)
+// and MEASURES (MEA) columns and evaluates a list of assignment formulas
+// over the cells they address, with symbolic cell references, cv(), ranges,
+// aggregates, UPSERT semantics, reference spreadsheets, cycles and
+// iteration. The engine includes the paper's compile-time analysis
+// (dependency graphs, scan-minimizing levels, formula pruning, predicate
+// pushing) and run-time machinery (two-level hash access structure with
+// optional disk spill, acyclic/cyclic/sequential algorithms, and
+// partition-parallel execution).
+//
+// Basic usage:
+//
+//	db := sqlsheet.Open()
+//	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+//	db.MustExec(`INSERT INTO f VALUES ('west','dvd',2001,10.5)`)
+//	res, err := db.Query(`
+//	    SELECT r, p, t, s FROM f
+//	    SPREADSHEET PBY(r) DBY(p, t) MEA(s)
+//	    ( s['dvd', 2002] = s['dvd', 2001] * 1.6 )`)
+package sqlsheet
+
+import (
+	"fmt"
+	"io"
+
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/exec"
+	"sqlsheet/internal/parser"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/types"
+)
+
+// Value is the scalar value type of results.
+type Value = types.Value
+
+// Row is one result tuple.
+type Row = types.Row
+
+// DB is an embedded database: a catalog of tables plus session options.
+// A DB is safe for concurrent readers; DDL/DML must not race with queries
+// on the same tables.
+type DB struct {
+	cat  *catalog.Catalog
+	opts Config
+}
+
+// PushStrategy re-exports the reference-pushing transform selection.
+type PushStrategy = plan.PushStrategy
+
+// Push strategies for predicates on functionally independent dimensions
+// (§4 of the paper; compared in Fig. 2).
+const (
+	PushExtended    = plan.PushExtended
+	PushRefSubquery = plan.PushRefSubquery
+	PushUnfold      = plan.PushUnfold
+	PushNone        = plan.PushNone
+)
+
+// JoinMethod re-exports join method forcing.
+type JoinMethod = plan.JoinMethod
+
+// Join methods; ForceJoin(JoinHash) reproduces the "subquery - forced hash"
+// series of Fig. 2.
+const (
+	JoinAuto       = plan.JoinAuto
+	JoinHash       = plan.JoinHash
+	JoinNestedLoop = plan.JoinNestedLoop
+)
+
+// Config holds session-level options.
+type Config struct {
+	// Parallel is the spreadsheet degree of parallelism (number of PEs).
+	Parallel int
+	// Buckets overrides the number of first-level hash partitions (0 =
+	// automatic).
+	Buckets int
+	// MemoryBudget bounds each first-level partition's resident memory in
+	// bytes; 0 = unbounded. Exceeding it spills blocks to disk under a
+	// weighted-LRU policy (Fig. 5's regime).
+	MemoryBudget int64
+	// SpillDir is the spill directory (default: the OS temp dir).
+	SpillDir string
+	// Push selects the reference-pushing transform (default extended).
+	Push PushStrategy
+	// ForceJoin overrides join method selection.
+	ForceJoin JoinMethod
+	// Optimizer toggles (all false = everything enabled).
+	DisableSheetPrune     bool
+	DisableSheetRewrite   bool
+	DisableSheetPush      bool
+	DisableFilterPushdown bool
+	DisableSingleScan     bool
+	DisableRangeProbe     bool
+	// UseBTreeIndex swaps the spreadsheet's cell hash tables for B-trees
+	// (the paper's abandoned first access method; ablation only).
+	UseBTreeIndex bool
+	// PromoteIndependentDims enables S4-style duplication of an
+	// independent dimension into the distribution key when PBY is empty.
+	PromoteIndependentDims bool
+	// EnableMVRewrite lets the optimizer answer subqueries from
+	// materialized views whose definition matches exactly. Off by default
+	// because a rewrite may serve data stale since the last REFRESH.
+	EnableMVRewrite bool
+}
+
+// Open creates an empty database with default options.
+func Open() *DB {
+	return &DB{cat: catalog.New()}
+}
+
+// Configure replaces the session options.
+func (db *DB) Configure(cfg Config) { db.opts = cfg }
+
+// Options returns the current session options.
+func (db *DB) Options() Config { return db.opts }
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []Row
+	inner   *exec.Result
+}
+
+// String renders the result as an aligned table.
+func (r *Result) String() string {
+	if r.inner == nil {
+		return "(no rows)\n"
+	}
+	return r.inner.FormatTable()
+}
+
+// Exec runs one or more ';'-separated statements, returning the result of
+// the last one. Use it for DDL, DML and queries alike.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("empty statement")
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		ex := db.newExecutor()
+		res, err := ex.ExecStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		last = wrapResult(res)
+	}
+	return last, nil
+}
+
+// MustExec is Exec that panics on error (setup code and examples).
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Query runs a single SELECT statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	ex := db.newExecutor()
+	res, err := ex.ExecStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// QueryStats runs a query and also returns the spreadsheet access
+// structure's I/O statistics (block loads/evictions, bytes spilled).
+func (db *DB) QueryStats(sql string) (*Result, blockstore.Stats, error) {
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, blockstore.Stats{}, err
+	}
+	ex := db.newExecutor()
+	res, err := ex.ExecStatement(stmt)
+	if err != nil {
+		return nil, blockstore.Stats{}, err
+	}
+	return wrapResult(res), ex.SheetStats, nil
+}
+
+// Explain returns the optimized plan of a query as indented text, including
+// spreadsheet analysis (levels, pruned formulas, pushed predicates).
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	ex := db.newExecutor()
+	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(p), nil
+}
+
+// CreateTable registers a table programmatically. Column kinds come from
+// types: use ColInt/ColFloat/ColString/ColBool helpers.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	sc := make([]types.Column, len(cols))
+	for i, c := range cols {
+		sc[i] = types.Column(c)
+	}
+	_, err := db.cat.Create(name, types.NewSchema(sc...))
+	return err
+}
+
+// Column declares one table column.
+type Column types.Column
+
+// Column constructors.
+func ColInt(name string) Column    { return Column{Name: name, Kind: types.KindInt} }
+func ColFloat(name string) Column  { return Column{Name: name, Kind: types.KindFloat} }
+func ColString(name string) Column { return Column{Name: name, Kind: types.KindString} }
+func ColBool(name string) Column   { return Column{Name: name, Kind: types.KindBool} }
+
+// Insert appends rows to a table programmatically. Values may be Go ints,
+// floats, strings, bools, nil, or Value.
+func (db *DB) Insert(table string, rows ...[]any) error {
+	t, ok := db.cat.Get(table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	for _, r := range rows {
+		row := make(types.Row, len(r))
+		for i, v := range r {
+			row[i] = ToValue(v)
+		}
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCSV bulk-loads CSV data into an existing table.
+func (db *DB) LoadCSV(table string, r io.Reader, skipHeader bool) (int, error) {
+	t, ok := db.cat.Get(table)
+	if !ok {
+		return 0, fmt.Errorf("unknown table %q", table)
+	}
+	return t.LoadCSV(r, skipHeader)
+}
+
+// Tables lists the catalog's table names (materialized views included:
+// their rows are stored as tables).
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// Views lists the catalog's plain view names.
+func (db *DB) Views() []string { return db.cat.ViewNames() }
+
+// MatViews lists the catalog's materialized view names.
+func (db *DB) MatViews() []string { return db.cat.MatViewNames() }
+
+// TableRows returns the row count of a table (0 if absent).
+func (db *DB) TableRows(name string) int {
+	t, ok := db.cat.Get(name)
+	if !ok {
+		return 0
+	}
+	return len(t.Rows)
+}
+
+// ToValue converts a Go value into an engine Value.
+func ToValue(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return types.Null
+	case int:
+		return types.NewInt(int64(x))
+	case int32:
+		return types.NewInt(int64(x))
+	case int64:
+		return types.NewInt(x)
+	case float32:
+		return types.NewFloat(float64(x))
+	case float64:
+		return types.NewFloat(x)
+	case string:
+		return types.NewString(x)
+	case bool:
+		return types.NewBool(x)
+	case types.Value:
+		return x
+	}
+	return types.NewString(fmt.Sprint(v))
+}
+
+func (db *DB) newExecutor() *exec.Executor {
+	o := db.opts
+	ex := exec.New(db.cat, exec.Options{
+		Parallel:          o.Parallel,
+		Buckets:           o.Buckets,
+		MemoryBudget:      o.MemoryBudget,
+		SpillDir:          o.SpillDir,
+		DisableSingleScan: o.DisableSingleScan,
+		DisableRangeProbe: o.DisableRangeProbe,
+		UseBTreeIndex:     o.UseBTreeIndex,
+	})
+	ex.Opts.PlanOpts = &plan.Options{
+		ForceJoin:              o.ForceJoin,
+		Push:                   o.Push,
+		DisableSheetPrune:      o.DisableSheetPrune,
+		DisableSheetRewrite:    o.DisableSheetRewrite,
+		DisableSheetPush:       o.DisableSheetPush,
+		DisableFilterPushdown:  o.DisableFilterPushdown,
+		Parallel:               o.Parallel,
+		PromoteIndependentDims: o.PromoteIndependentDims,
+		EnableMVRewrite:        o.EnableMVRewrite,
+		Exec:                   ex,
+	}
+	return ex
+}
+
+func wrapResult(res *exec.Result) *Result {
+	out := &Result{inner: res, Rows: res.Rows}
+	for _, c := range res.Schema.Cols {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	return out
+}
+
+// Parse exposes the SQL parser for tooling (returns the statement count).
+func Parse(sql string) (int, error) {
+	stmts, err := parser.Parse(sql)
+	return len(stmts), err
+}

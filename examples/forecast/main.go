@@ -1,0 +1,70 @@
+// Forecast reproduces the paper's §3 motivating example: an analyst
+// predicts 2002 sales per region — tv scaled by its regression slope, vcr
+// as the sum of two years, dvd as a three-year average — and introduces a
+// brand-new 'video' dimension member with UPSERT. One spreadsheet clause
+// replaces an aggregate subquery, a double and a triple self-join, and a
+// UNION.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlsheet"
+)
+
+func main() {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	for _, r := range []string{"west", "east"} {
+		for ti := 1992; ti <= 2002; ti++ {
+			grow := 1.0
+			if r == "east" {
+				grow = 2.5
+			}
+			base := float64(ti-1990) * grow
+			db.MustExec(fmt.Sprintf(`INSERT INTO f VALUES
+				('%[1]s','tv', %[2]d, %[3]g),
+				('%[1]s','vcr',%[2]d, %[4]g),
+				('%[1]s','dvd',%[2]d, %[5]g)`,
+				r, ti, base*3, base*2, base))
+		}
+	}
+
+	res, err := db.Query(`
+		SELECT r, p, t, s
+		FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		(
+		F1: UPDATE s['tv',2002] =
+		        slope(s,t)['tv',1992<=t<=2001]*s['tv',2001] + s['tv',2001],
+		F2: UPDATE s['vcr', 2002] = s['vcr', 2000] + s['vcr', 2001],
+		F3: UPDATE s['dvd',2002] =
+		        (s['dvd',1999]+s['dvd',2000]+s['dvd',2001])/3,
+		F4: UPSERT s['video', 2002] = s['tv',2002] + s['vcr',2002]
+		)
+		ORDER BY r, p, t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2002 predictions (note the upserted 'video' rows):")
+	for _, row := range res.Rows {
+		if row[2].Int() == 2002 {
+			fmt.Printf("  %-5s %-6s %v\n", row[0], row[1], row[3])
+		}
+	}
+
+	// The same spreadsheet evaluates per partition, so parallel execution
+	// is just a session option.
+	cfg := db.Options()
+	cfg.Parallel = 2
+	db.Configure(cfg)
+	res2, err := db.Query(`
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( UPSERT s['video', 2002] = s['tv',2001] + s['vcr',2001] )`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel run produced %d rows\n", len(res2.Rows))
+}

@@ -1,0 +1,77 @@
+// Mortgage builds a loan amortization schedule — the classic "simultaneous
+// equations over a relation" workload the paper positions the spreadsheet
+// clause for. An ordered existential formula rolls the balance forward
+// month by month, and an ITERATE ... UNTIL model searches for the payment
+// that clears the loan (a recursive what-if the paper's §2 cycles section
+// enables).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlsheet"
+)
+
+func main() {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE loan (customer TEXT, period INT, balance FLOAT, payment FLOAT)`)
+	// Two customers, 12 monthly periods each; period 0 holds the principal.
+	for _, c := range []struct {
+		name      string
+		principal float64
+		payment   float64
+	}{{"ann", 10000, 900}, {"bob", 25000, 2200}} {
+		db.MustExec(fmt.Sprintf(`INSERT INTO loan VALUES ('%s', 0, %g, 0)`, c.name, c.principal))
+		for p := 1; p <= 12; p++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO loan VALUES ('%s', %d, 0, %g)`, c.name, p, c.payment))
+		}
+	}
+
+	// Roll the balance forward at 1% monthly interest: an ordered
+	// existential rule — each period reads the PREVIOUS period's freshly
+	// computed balance, which is exactly what ORDER BY period ASC
+	// guarantees.
+	res, err := db.Query(`
+		SELECT customer, period, balance, payment
+		FROM loan
+		SPREADSHEET PBY(customer) DBY (period) MEA (balance, payment)
+		(
+		  UPDATE balance[period > 0] ORDER BY period ASC =
+		      balance[cv(period)-1] * 1.01 - payment[cv(period)]
+		)
+		ORDER BY customer, period`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("amortization schedule (1% monthly):")
+	fmt.Print(res)
+
+	// What-if with a recursive model: repeatedly shave the final balance
+	// into the payment until the loan clears within a dollar — ITERATE
+	// with an UNTIL convergence condition and previous().
+	// The period-0 payment cell (unused by the schedule) holds the next
+	// uniform payment so the per-period update reads a stable value.
+	res, err = db.Query(`
+		SELECT customer, period, balance, payment
+		FROM loan
+		SPREADSHEET PBY(customer) DBY (period) MEA (balance, payment)
+		ITERATE (50) UNTIL (abs(balance[12]) <= 1)
+		(
+		  UPDATE payment[0] = payment[1] + balance[12] / 12,
+		  UPDATE payment[period > 0] = payment[0],
+		  UPDATE balance[period > 0] ORDER BY period ASC =
+		      balance[cv(period)-1] * 1.01 - payment[cv(period)]
+		)
+		ORDER BY customer, period`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsolved payments (final balance ≈ 0):")
+	for _, row := range res.Rows {
+		if row[1].Int() == 12 {
+			fmt.Printf("  %-5s payment=%.2f final balance=%.2f\n",
+				row[0], row[3].Float(), row[2].Float())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: create a small sales table and run the first spreadsheet
+// query from the paper — per-region forecasts with symbolic cell
+// references (§2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlsheet"
+)
+
+func main() {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	db.MustExec(`INSERT INTO f VALUES
+		('west','dvd',2000,10), ('west','dvd',2001,13),
+		('west','vcr',2000,20), ('west','vcr',2001,18),
+		('west','tv', 1999,30), ('west','tv', 2000,31), ('west','tv', 2001,34),
+		('east','dvd',2000,40), ('east','dvd',2001,44),
+		('east','vcr',2000,25), ('east','vcr',2001,23),
+		('east','tv', 1999,50), ('east','tv', 2000,52), ('east','tv', 2001,55)`)
+
+	// Within each region: dvd 2002 grows 60% over 2001, vcr 2002 is the sum
+	// of the two prior years, tv 2002 is its recent average. Cells that do
+	// not exist are created (UPSERT is the default).
+	res, err := db.Query(`
+		SELECT r, p, t, s
+		FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		(
+		  s[p='dvd', t=2002] = s[p='dvd', t=2001] * 1.6,
+		  s[p='vcr', t=2002] = s[p='vcr', t=2000] + s[p='vcr', t=2001],
+		  s['tv', 2002]      = avg(s)['tv', 1999 <= t <= 2001]
+		)
+		ORDER BY r, p, t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	// The analysis is inspectable: EXPLAIN shows formula levels and any
+	// optimizer decisions.
+	plan, err := db.Explain(`
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( s['dvd',2002] = s['dvd',2000] + s['dvd',2001],
+		  s['dvd',2001] = 1000 )`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN (note the dependency-ordered levels):")
+	fmt.Print(plan)
+}

@@ -1,0 +1,62 @@
+// Report composes the two OLAP mechanisms the paper discusses: a
+// spreadsheet clause computes next-year forecasts per region, and ANSI
+// window functions ([18]) rank the forecasts and add share-of-region
+// percentages over the spreadsheet's output — the "result is a relation"
+// property of §7 in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlsheet"
+)
+
+func main() {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	products := []string{"dvd", "vcr", "tv", "camera", "hifi"}
+	for i, p := range products {
+		for _, r := range []string{"west", "east"} {
+			for ti := 1999; ti <= 2001; ti++ {
+				base := float64((i+2)*(ti-1995)) * 7
+				if r == "east" {
+					base *= 1.3
+				}
+				db.MustExec(fmt.Sprintf(`INSERT INTO f VALUES ('%s','%s',%d,%g)`, r, p, ti, base))
+			}
+		}
+	}
+
+	// Inner block: spreadsheet forecast for 2002 (trend-scaled).
+	// Outer block: window functions ranking the forecast within each
+	// region and computing each product's share of the regional total.
+	res, err := db.Query(`
+		SELECT r, p, s,
+		       rank() OVER (PARTITION BY r ORDER BY s DESC) rnk,
+		       round(100 * s / sum(s) OVER (PARTITION BY r), 1) pct
+		FROM (
+		    SELECT r, p, t, s FROM f
+		    SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		    ( UPSERT s[FOR p IN (SELECT DISTINCT p FROM f), 2002] =
+		          s[cv(p), 2001] * (1 + slope(s,t)[cv(p), 1999<=t<=2001] / s[cv(p), 2001]) )
+		) v
+		WHERE t = 2002
+		ORDER BY r, rnk`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2002 forecast ranking per region (spreadsheet + windows):")
+	fmt.Print(res)
+
+	// The same report as a materialized view that refreshes incrementally
+	// as new sales arrive.
+	db.MustExec(`CREATE MATERIALIZED VIEW forecast_mv AS
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( UPSERT s[FOR p IN (SELECT DISTINCT p FROM f), 2002] = s[cv(p), 2001] * 1.1 )`)
+	db.MustExec(`INSERT INTO f VALUES ('west', 'radio', 2001, 999)`)
+	out := db.MustExec(`REFRESH forecast_mv`)
+	fmt.Printf("\nmaterialized forecast refreshed: mode=%s rows=%s\n",
+		out.Rows[0][0], out.Rows[0][1])
+}

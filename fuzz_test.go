@@ -1,0 +1,55 @@
+package sqlsheet_test
+
+import (
+	"sync"
+	"testing"
+
+	"sqlsheet"
+)
+
+var (
+	fuzzDBOnce sync.Once
+	fuzzDB     *sqlsheet.DB
+)
+
+func getFuzzDB() *sqlsheet.DB {
+	fuzzDBOnce.Do(func() {
+		db := sqlsheet.Open()
+		db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+		db.MustExec(`CREATE TABLE d (p TEXT, parent TEXT)`)
+		db.MustExec(`INSERT INTO f VALUES
+			('w','dvd',2000,1),('w','dvd',2001,2),('w','vcr',2000,3),
+			('e','dvd',2000,4),('e','tv',2001,5)`)
+		db.MustExec(`INSERT INTO d VALUES ('dvd','video'),('vcr','video')`)
+		fuzzDB = db
+	})
+	return fuzzDB
+}
+
+// FuzzQuery drives the full pipeline — parse, plan, optimize, execute —
+// with arbitrary SQL against a small fixed catalog. Errors are expected;
+// panics and hangs are bugs. Mutating statements are rejected up front so
+// the shared catalog stays stable.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		`SELECT r, p, t, s FROM f SPREADSHEET PBY(r) DBY(p,t) MEA(s) ( s['dvd',2002] = s['dvd',2001]*2 )`,
+		`SELECT * FROM (SELECT r,p,t,s FROM f SPREADSHEET PBY(r) DBY(p,t) MEA(s) UPDATE ( s[*,2001] = avg(s)[cv(p), t<2001] )) v WHERE p = 'dvd'`,
+		`SELECT p, SUM(s) FROM f GROUP BY p HAVING COUNT(*) > 1 ORDER BY 2 DESC`,
+		`SELECT f.p, d.parent FROM f LEFT JOIN d ON f.p = d.p WHERE s > (SELECT AVG(s) FROM f)`,
+		`SELECT p, rank() OVER (PARTITION BY r ORDER BY s DESC) FROM f`,
+		`WITH w AS (SELECT DISTINCT p FROM f) SELECT * FROM w UNION SELECT parent FROM d`,
+		`SELECT t, s FROM f SPREADSHEET DBY(t) MEA(s) ITERATE (3) UNTIL (previous(s[2000]) - s[2000] < 1) ( s[2000] = s[2000]/2 )`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		db := getFuzzDB()
+		// Queries only: Exec would mutate the shared catalog.
+		res, err := db.Query(sql)
+		if err != nil {
+			return
+		}
+		_ = res.String()
+	})
+}

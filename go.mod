@@ -1,0 +1,3 @@
+module sqlsheet
+
+go 1.22

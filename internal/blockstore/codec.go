@@ -1,0 +1,108 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqlsheet/internal/types"
+)
+
+// codec serializes blocks of rows for the spill file. The format is
+// private to a single store's lifetime, so it carries no versioning:
+//
+//	block  := rowCount:uvarint row*
+//	row    := valCount:uvarint value*
+//	value  := kind:byte payload
+type codec struct{}
+
+func (codec) encodeBlock(rows []types.Row) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = binary.AppendUvarint(buf, uint64(len(r)))
+		for _, v := range r {
+			buf = append(buf, byte(v.K))
+			switch v.K {
+			case types.KindNull:
+			case types.KindInt, types.KindBool:
+				buf = binary.AppendVarint(buf, v.I)
+			case types.KindFloat:
+				buf = binary.AppendUvarint(buf, math.Float64bits(v.F))
+			case types.KindString:
+				buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+				buf = append(buf, v.S...)
+			}
+		}
+	}
+	return buf
+}
+
+func (codec) decodeBlock(data []byte) ([]types.Row, error) {
+	pos := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("corrupt block at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	iv := func() (int64, error) {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("corrupt block at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nrows, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]types.Row, 0, nrows)
+	for r := uint64(0); r < nrows; r++ {
+		nvals, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		row := make(types.Row, nvals)
+		for i := range row {
+			if pos >= len(data) {
+				return nil, fmt.Errorf("truncated block")
+			}
+			k := types.Kind(data[pos])
+			pos++
+			switch k {
+			case types.KindNull:
+				row[i] = types.Null
+			case types.KindInt, types.KindBool:
+				n, err := iv()
+				if err != nil {
+					return nil, err
+				}
+				row[i] = types.Value{K: k, I: n}
+			case types.KindFloat:
+				bits, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				row[i] = types.NewFloat(math.Float64frombits(bits))
+			case types.KindString:
+				n, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(n) > len(data) {
+					return nil, fmt.Errorf("truncated string")
+				}
+				row[i] = types.NewString(string(data[pos : pos+int(n)]))
+				pos += int(n)
+			default:
+				return nil, fmt.Errorf("unknown kind %d", k)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

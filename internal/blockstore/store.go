@@ -1,0 +1,311 @@
+// Package blockstore provides the row storage behind the spreadsheet
+// clause's hash access structure.
+//
+// The paper (§5) builds a two-level hash structure and, when a spreadsheet
+// partition does not fit in memory, degrades to "a disk based hash table
+// employing a weighted LRU scheme for block replacement, and pointer
+// swizzling to make references lightweight". This package implements that
+// storage layer: rows live in fixed-capacity blocks; a byte budget bounds
+// resident blocks; over-budget blocks are evicted to a spill file under a
+// weighted-LRU policy; and rows are addressed by stable (block, slot) RowIDs
+// — the moral equivalent of swizzled pointers. I/O counters feed the
+// memory-scaling experiment (Fig. 5).
+package blockstore
+
+import (
+	"fmt"
+	"os"
+
+	"sqlsheet/internal/types"
+)
+
+// RowID is a stable handle to a stored row.
+type RowID struct {
+	Block int32
+	Slot  int32
+}
+
+// Store abstracts row storage so the spreadsheet engine runs unchanged over
+// the unbounded in-memory store and the budgeted spilling store.
+type Store interface {
+	// Append adds a row and returns its handle.
+	Append(row types.Row) RowID
+	// Get returns the row; the result must not be retained across other
+	// store calls (spilling stores may recycle block memory).
+	Get(id RowID) types.Row
+	// Set overwrites the row.
+	Set(id RowID, row types.Row)
+	// Len returns the number of stored rows.
+	Len() int
+	// Stats returns cumulative I/O statistics.
+	Stats() Stats
+	// Close releases any spill resources.
+	Close() error
+}
+
+// Stats counts block-level I/O performed by a store.
+type Stats struct {
+	BlockLoads     int64 // blocks read back from spill
+	BlockEvictions int64 // blocks written out
+	BytesSpilled   int64
+	BytesLoaded    int64
+}
+
+// MemStore is the unbounded in-memory store used when the partition fits.
+type MemStore struct {
+	rows []types.Row
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (m *MemStore) Append(row types.Row) RowID {
+	m.rows = append(m.rows, row)
+	return RowID{Slot: int32(len(m.rows) - 1)}
+}
+
+// Get implements Store.
+func (m *MemStore) Get(id RowID) types.Row { return m.rows[id.Slot] }
+
+// Set implements Store.
+func (m *MemStore) Set(id RowID, row types.Row) { m.rows[id.Slot] = row }
+
+// Len implements Store.
+func (m *MemStore) Len() int { return len(m.rows) }
+
+// Stats implements Store.
+func (m *MemStore) Stats() Stats { return Stats{} }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// Config sizes a SpillStore.
+type Config struct {
+	// BudgetBytes bounds resident block memory; <= 0 means unbounded.
+	BudgetBytes int64
+	// RowsPerBlock is the block capacity in rows (default 128).
+	RowsPerBlock int
+	// Dir is the spill directory (default os.TempDir()).
+	Dir string
+}
+
+type block struct {
+	rows  []types.Row // nil when evicted
+	bytes int64       // estimated resident size
+	dirty bool
+	// spill file location of the latest written version; length 0 if the
+	// block has never been spilled.
+	off, length int64
+	// weighted-LRU bookkeeping.
+	lastTick int64
+	hits     int64
+}
+
+// SpillStore is a byte-budgeted store backed by a spill file. It is not safe
+// for concurrent use; the engine gives each processing element its own store.
+type SpillStore struct {
+	cfg      Config
+	blocks   []*block
+	resident int64 // bytes of resident blocks
+	tick     int64
+	file     *os.File
+	fileEnd  int64
+	stats    Stats
+	nrows    int
+	codec    codec
+}
+
+// NewSpill creates a budgeted spilling store.
+func NewSpill(cfg Config) *SpillStore {
+	if cfg.RowsPerBlock <= 0 {
+		cfg.RowsPerBlock = 128
+	}
+	return &SpillStore{cfg: cfg}
+}
+
+// Append implements Store.
+func (s *SpillStore) Append(row types.Row) RowID {
+	n := len(s.blocks)
+	if n == 0 || len(s.lastBlockRows()) >= s.cfg.RowsPerBlock {
+		s.blocks = append(s.blocks, &block{rows: make([]types.Row, 0, s.cfg.RowsPerBlock)})
+		n = len(s.blocks)
+	}
+	b := s.blocks[n-1]
+	if b.rows == nil {
+		s.load(int32(n - 1))
+		b = s.blocks[n-1]
+	}
+	id := RowID{Block: int32(n - 1), Slot: int32(len(b.rows))}
+	b.rows = append(b.rows, row)
+	b.dirty = true
+	sz := rowBytes(row)
+	b.bytes += sz
+	s.resident += sz
+	s.nrows++
+	s.touch(b)
+	s.enforceBudget(int32(n - 1))
+	return id
+}
+
+func (s *SpillStore) lastBlockRows() []types.Row {
+	b := s.blocks[len(s.blocks)-1]
+	if b.rows == nil {
+		s.load(int32(len(s.blocks) - 1))
+	}
+	return b.rows
+}
+
+// Get implements Store.
+func (s *SpillStore) Get(id RowID) types.Row {
+	b := s.blocks[id.Block]
+	if b.rows == nil {
+		s.load(id.Block)
+	}
+	s.touch(b)
+	s.enforceBudget(id.Block)
+	return b.rows[id.Slot]
+}
+
+// Set implements Store.
+func (s *SpillStore) Set(id RowID, row types.Row) {
+	b := s.blocks[id.Block]
+	if b.rows == nil {
+		s.load(id.Block)
+	}
+	old := b.rows[id.Slot]
+	b.rows[id.Slot] = row
+	delta := rowBytes(row) - rowBytes(old)
+	b.bytes += delta
+	s.resident += delta
+	b.dirty = true
+	s.touch(b)
+	s.enforceBudget(id.Block)
+}
+
+// Len implements Store.
+func (s *SpillStore) Len() int { return s.nrows }
+
+// Stats implements Store.
+func (s *SpillStore) Stats() Stats { return s.stats }
+
+// Close removes the spill file.
+func (s *SpillStore) Close() error {
+	if s.file == nil {
+		return nil
+	}
+	name := s.file.Name()
+	err := s.file.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	s.file = nil
+	return err
+}
+
+func (s *SpillStore) touch(b *block) {
+	s.tick++
+	b.lastTick = s.tick
+	b.hits++
+}
+
+// weight implements the "weighted LRU" policy: plain recency, boosted by a
+// capped hit count so that hot blocks (e.g. the block holding a partition's
+// parent rows, probed once per child) survive longer than blocks touched
+// once during the build scan.
+func (b *block) weight() int64 {
+	boost := b.hits
+	if boost > 16 {
+		boost = 16
+	}
+	return b.lastTick + 8*boost
+}
+
+// enforceBudget evicts lowest-weight blocks until the resident set fits.
+// keep is never evicted (it is the block being actively accessed).
+func (s *SpillStore) enforceBudget(keep int32) {
+	if s.cfg.BudgetBytes <= 0 {
+		return
+	}
+	for s.resident > s.cfg.BudgetBytes {
+		victim := int32(-1)
+		var vw int64
+		for i, b := range s.blocks {
+			if b.rows == nil || int32(i) == keep {
+				continue
+			}
+			if w := b.weight(); victim < 0 || w < vw {
+				victim, vw = int32(i), w
+			}
+		}
+		if victim < 0 {
+			return // only the active block is resident; nothing to do
+		}
+		s.evict(victim)
+	}
+}
+
+func (s *SpillStore) evict(i int32) {
+	b := s.blocks[i]
+	if b.dirty {
+		data := s.codec.encodeBlock(b.rows)
+		if s.file == nil {
+			f, err := os.CreateTemp(s.cfg.Dir, "sqlsheet-spill-*.dat")
+			if err != nil {
+				panic(fmt.Sprintf("blockstore: create spill file: %v", err))
+			}
+			s.file = f
+		}
+		if _, err := s.file.WriteAt(data, s.fileEnd); err != nil {
+			panic(fmt.Sprintf("blockstore: spill write: %v", err))
+		}
+		b.off, b.length = s.fileEnd, int64(len(data))
+		s.fileEnd += int64(len(data))
+		s.stats.BytesSpilled += int64(len(data))
+		b.dirty = false
+	}
+	s.stats.BlockEvictions++
+	s.resident -= b.bytes
+	b.rows = nil
+	b.bytes = 0
+}
+
+func (s *SpillStore) load(i int32) {
+	b := s.blocks[i]
+	if b.length == 0 {
+		// Never spilled with data; must have been evicted empty.
+		b.rows = make([]types.Row, 0, s.cfg.RowsPerBlock)
+		return
+	}
+	data := make([]byte, b.length)
+	if _, err := s.file.ReadAt(data, b.off); err != nil {
+		panic(fmt.Sprintf("blockstore: spill read: %v", err))
+	}
+	rows, err := s.codec.decodeBlock(data)
+	if err != nil {
+		panic(fmt.Sprintf("blockstore: decode: %v", err))
+	}
+	b.rows = rows
+	for _, r := range rows {
+		b.bytes += rowBytes(r)
+	}
+	s.resident += b.bytes
+	s.stats.BlockLoads++
+	s.stats.BytesLoaded += b.length
+	s.enforceBudget(i)
+}
+
+// RowBytes estimates the resident size of a row; callers sizing budgets
+// relative to data (the Fig. 5 experiment) use the same accounting as the
+// store itself.
+func RowBytes(r types.Row) int64 { return rowBytes(r) }
+
+// rowBytes estimates the resident size of a row.
+func rowBytes(r types.Row) int64 {
+	n := int64(24) // slice header + padding
+	for _, v := range r {
+		n += 40 // Value struct
+		n += int64(len(v.S))
+	}
+	return n
+}

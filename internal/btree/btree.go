@@ -1,0 +1,175 @@
+// Package btree implements an in-memory B-tree mapping cell keys to row
+// positions. It exists to reproduce the paper's §7 note on access methods:
+// "Our initial implementation of the access method was based on a B-tree
+// ... This proved more expensive than the current hash table mostly due to
+// code path length." The spreadsheet engine can run on either index (see
+// core.RunOptions.UseBTreeIndex), and the access-path benchmark measures
+// the difference.
+package btree
+
+// degree is the minimum fan-out; nodes hold between degree-1 and
+// 2*degree-1 keys.
+const degree = 16
+
+// Tree maps string keys to int values, ordered by key bytes.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	keys     []string
+	vals     []int
+	children []*node // nil for leaves
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) (int, bool) {
+	n := t.root
+	for n != nil {
+		i, eq := n.search(key)
+		if eq {
+			return n.vals[i], true
+		}
+		if n.children == nil {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// search returns the index of the first key >= key, and whether it equals.
+func (n *node) search(key string) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Put inserts or overwrites a key.
+func (t *Tree) Put(key string, val int) {
+	if len(t.root.keys) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insert(key, val) {
+		t.size++
+	}
+}
+
+// insert adds key to the (non-full) subtree rooted at n; reports whether a
+// new key was created (false = overwrite).
+func (n *node) insert(key string, val int) bool {
+	i, eq := n.search(key)
+	if eq {
+		n.vals[i] = val
+		return false
+	}
+	if n.children == nil {
+		n.keys = append(n.keys, "")
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		return true
+	}
+	if len(n.children[i].keys) == 2*degree-1 {
+		n.splitChild(i)
+		if key > n.keys[i] {
+			i++
+		} else if key == n.keys[i] {
+			n.vals[i] = val
+			return false
+		}
+	}
+	return n.children[i].insert(key, val)
+}
+
+// splitChild splits the full child at index i, hoisting its median.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	midKey, midVal := child.keys[mid], child.vals[mid]
+
+	right := &node{
+		keys: append([]string(nil), child.keys[mid+1:]...),
+		vals: append([]int(nil), child.vals[mid+1:]...),
+	}
+	if child.children != nil {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, "")
+	n.vals = append(n.vals, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i] = midKey
+	n.vals[i] = midVal
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Ascend visits every (key, value) pair in key order; returning false stops
+// the walk.
+func (t *Tree) Ascend(fn func(key string, val int) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *node) ascend(fn func(string, int) bool) bool {
+	for i, k := range n.keys {
+		if n.children != nil && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// AscendRange visits pairs with lo <= key < hi in order.
+func (t *Tree) AscendRange(lo, hi string, fn func(key string, val int) bool) {
+	t.Ascend(func(k string, v int) bool {
+		if k < lo {
+			return true
+		}
+		if k >= hi {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// Height returns the tree height (leaves = 1); exported for tests.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		h++
+	}
+	return h
+}

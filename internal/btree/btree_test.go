@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasics(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("empty tree must miss")
+	}
+	tr.Put("b", 2)
+	tr.Put("a", 1)
+	tr.Put("c", 3)
+	for k, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		if v, ok := tr.Get(k); !ok || v != want {
+			t.Errorf("Get(%q) = %d, %v", k, v, ok)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Overwrite does not grow.
+	tr.Put("b", 20)
+	if v, _ := tr.Get("b"); v != 20 || tr.Len() != 3 {
+		t.Errorf("overwrite broken: %d len=%d", v, tr.Len())
+	}
+}
+
+func TestLargeInsertAndSplits(t *testing.T) {
+	tr := New()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Put(fmt.Sprintf("key-%06d", i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected real splits", tr.Height())
+	}
+	for i := 0; i < n; i += 97 {
+		if v, ok := tr.Get(fmt.Sprintf("key-%06d", i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, k := range keys {
+		tr.Put(k, i)
+	}
+	var got []string
+	tr.Ascend(func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Ascend(func(string, int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), i)
+	}
+	var got []int
+	tr.AscendRange("010", "015", func(_ string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Errorf("range = %v", got)
+	}
+}
+
+func TestMatchesMapProperty(t *testing.T) {
+	// Property: after an arbitrary insert/overwrite sequence, the tree
+	// agrees with a plain map, and Ascend yields sorted unique keys.
+	f := func(ops []uint16) bool {
+		tr := New()
+		mirror := map[string]int{}
+		for i, op := range ops {
+			k := fmt.Sprintf("k%03d", op%300)
+			tr.Put(k, i)
+			mirror[k] = i
+		}
+		if tr.Len() != len(mirror) {
+			return false
+		}
+		for k, want := range mirror {
+			if v, ok := tr.Get(k); !ok || v != want {
+				return false
+			}
+		}
+		prev := ""
+		ok := true
+		n := 0
+		tr.Ascend(func(k string, v int) bool {
+			if n > 0 && k <= prev {
+				ok = false
+				return false
+			}
+			if mirror[k] != v {
+				ok = false
+				return false
+			}
+			prev = k
+			n++
+			return true
+		})
+		return ok && n == len(mirror)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

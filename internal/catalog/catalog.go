@@ -1,0 +1,192 @@
+// Package catalog manages named tables and their row storage. It is the
+// engine's "dictionary": the paper contrasts spreadsheets' lack of shared
+// metadata with RDBMS catalogs, and this package is that catalog.
+package catalog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sqlsheet/internal/types"
+)
+
+// Table is a named relation with a schema and in-memory row storage.
+// Version increments on every mutation; materialized-view refresh uses it
+// to distinguish pure appends (incremental-refresh eligible) from updates
+// and deletes.
+type Table struct {
+	Name    string
+	Schema  *types.Schema
+	Rows    []types.Row
+	Version int
+}
+
+// Catalog is a registry of tables. It is safe for concurrent readers with a
+// single writer per table.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+	mviews map[string]*MatView
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new empty table. It fails if the name exists.
+func (c *Catalog) Create(name string, schema *types.Schema) (*Table, error) {
+	name = strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureViews()
+	if c.nameInUse(name) {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Drop removes a table; missing tables are ignored.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Get looks a table up by name.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ns := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Insert appends rows to a table, coercing each value to the declared
+// column kind where a kind is declared.
+func (t *Table) Insert(rows ...types.Row) error {
+	for _, r := range rows {
+		if len(r) != t.Schema.Len() {
+			return fmt.Errorf("table %q: row has %d values, schema has %d columns", t.Name, len(r), t.Schema.Len())
+		}
+		cp := make(types.Row, len(r))
+		for i, v := range r {
+			cv, err := Coerce(v, t.Schema.Cols[i].Kind)
+			if err != nil {
+				return fmt.Errorf("table %q column %q: %v", t.Name, t.Schema.Cols[i].Name, err)
+			}
+			cp[i] = cv
+		}
+		t.Rows = append(t.Rows, cp)
+		t.Version++
+	}
+	return nil
+}
+
+// Coerce converts v to the declared kind. KindNull declarations accept any
+// value unchanged; NULL passes through every declaration.
+func Coerce(v types.Value, k types.Kind) (types.Value, error) {
+	if v.IsNull() || k == types.KindNull || v.K == k {
+		return v, nil
+	}
+	switch k {
+	case types.KindInt:
+		if v.K == types.KindFloat {
+			return types.NewInt(int64(v.F)), nil
+		}
+	case types.KindFloat:
+		if v.K == types.KindInt {
+			return types.NewFloat(float64(v.I)), nil
+		}
+	case types.KindString:
+		return types.NewString(v.String()), nil
+	}
+	return types.Null, fmt.Errorf("cannot store %s value as %s", v.K, k)
+}
+
+// LoadCSV reads CSV data into the table. Columns are matched positionally;
+// values parse as int, then float, then string; empty fields become NULL.
+func (t *Table) LoadCSV(r io.Reader, skipHeader bool) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = t.Schema.Len()
+	n := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if first && skipHeader {
+			first = false
+			continue
+		}
+		first = false
+		row := make(types.Row, len(rec))
+		for i, f := range rec {
+			row[i] = ParseField(f)
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ParseField converts one CSV field into a Value.
+func ParseField(f string) types.Value {
+	if f == "" {
+		return types.Null
+	}
+	if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return types.NewInt(i)
+	}
+	if fl, err := strconv.ParseFloat(f, 64); err == nil {
+		return types.NewFloat(fl)
+	}
+	return types.NewString(f)
+}
+
+// WriteCSV writes the table's rows (with a header) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

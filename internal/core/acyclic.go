@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// runAutomatic executes the analysis plan for an AUTOMATIC ORDER
+// spreadsheet: plain levels run with the Auto-Acyclic algorithm (all
+// aggregates of a level computed before its formulas, sharing one partition
+// scan), SCC steps run with the Auto-Cyclic fixpoint algorithm.
+func (fe *frameEval) runAutomatic() error {
+	if !fe.opts.DisableSingleScan && fe.m.canSingleScan() {
+		return fe.runSingleScan()
+	}
+	for _, lv := range fe.m.levels {
+		switch lv.kind {
+		case stepLevel:
+			if err := fe.runRules(lv.rules); err != nil {
+				return err
+			}
+		case stepSCC:
+			if err := fe.runSCC(lv.rules); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lsEntry is one single-cell-left-side rule prepared for evaluation: its
+// enumerated targets and, per target, the aggregate instances of its right
+// side.
+type lsEntry struct {
+	rule    *Rule
+	targets [][]types.Value
+	// aggMaps[i] maps the rule's CellAgg nodes to instances for target i.
+	aggMaps []map[*sqlast.CellAgg]*aggInstance
+	ctxs    []*eval.Context
+}
+
+// runRules evaluates one level: first the single-cell rules (LS) — their
+// aggregates computed up front, scan-mode instances sharing one partition
+// scan — then the existential rules (LE), per the Auto-Acyclic algorithm.
+func (fe *frameEval) runRules(idxs []int) error {
+	var ls []*lsEntry
+	var le []*Rule
+	for _, ri := range idxs {
+		r := fe.m.Rules[ri]
+		if r.Existential {
+			le = append(le, r)
+			continue
+		}
+		entry, err := fe.prepareLS(r)
+		if err != nil {
+			return err
+		}
+		ls = append(ls, entry)
+	}
+
+	// Scan (I): compute every scan-mode aggregate of the level in one pass.
+	var scanInsts []*aggInstance
+	for _, e := range ls {
+		for _, am := range e.aggMaps {
+			for _, inst := range am {
+				if inst.probe {
+					if err := inst.runProbe(fe); err != nil {
+						return err
+					}
+				} else {
+					scanInsts = append(scanInsts, inst)
+				}
+			}
+		}
+	}
+	if len(scanInsts) > 0 {
+		if err := fe.scanFeed(scanInsts); err != nil {
+			return err
+		}
+	}
+
+	// Evaluate the single-cell formulas.
+	for _, e := range ls {
+		for ti, dims := range e.targets {
+			fe.curAggs = e.aggMaps[ti]
+			if err := fe.applyPoint(e.rule, dims, e.ctxs[ti]); err != nil {
+				return err
+			}
+		}
+	}
+	fe.curAggs = nil
+
+	// Evaluate the existential formulas (scans II and III).
+	for _, r := range le {
+		if err := fe.applyExistential(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanFeed performs one partition scan, feeding every matching row to every
+// instance.
+func (fe *frameEval) scanFeed(insts []*aggInstance) error {
+	var ferr error
+	fe.f.Each(func(pos int, row types.Row) bool {
+		for _, inst := range insts {
+			ok, err := inst.match(row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if err := inst.feed(fe, pos, row); err != nil {
+				ferr = err
+				return false
+			}
+		}
+		return true
+	})
+	return ferr
+}
+
+// prepareLS enumerates a single-cell rule's targets and builds the
+// aggregate instances of its right side for each target.
+func (fe *frameEval) prepareLS(r *Rule) (*lsEntry, error) {
+	targets, err := fe.ruleTargets(r)
+	if err != nil {
+		return nil, err
+	}
+	entry := &lsEntry{rule: r, targets: targets}
+	_, cellAggs := sqlast.CellRefs(r.RHS)
+	for _, dims := range targets {
+		ctx := fe.targetCtx(r, dims)
+		am := make(map[*sqlast.CellAgg]*aggInstance, len(cellAggs))
+		for _, ca := range cellAggs {
+			inst, err := fe.buildInstance(ctx, ca)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", r.Label, err)
+			}
+			am[ca] = inst
+		}
+		entry.aggMaps = append(entry.aggMaps, am)
+		entry.ctxs = append(entry.ctxs, ctx)
+	}
+	return entry, nil
+}
+
+// targetCtx builds the evaluation context for one formula target, with cv()
+// bound to the target's dimension values.
+func (fe *frameEval) targetCtx(r *Rule, dims []types.Value) *eval.Context {
+	copy(fe.cv, dims)
+	// The context must capture the cv values, not share fe.cv (multiple
+	// targets are prepared before any is evaluated).
+	bound := append([]types.Value(nil), dims...)
+	ctx := fe.ctxFor(nil)
+	ctx.CurrentV = func(dim string) (types.Value, error) {
+		if d := fe.m.DimOrdinal(dim); d >= 0 {
+			return bound[d], nil
+		}
+		if p := fe.m.PbyOrdinal(dim); p >= 0 {
+			return fe.f.pby[p], nil
+		}
+		return types.Null, fmt.Errorf("cv(%s): unknown dimension", dim)
+	}
+	return ctx
+}
+
+// ruleTargets enumerates the target cells of a non-existential rule: the
+// cartesian product of each qualifier's value list.
+func (fe *frameEval) ruleTargets(r *Rule) ([][]types.Value, error) {
+	lists := make([][]types.Value, len(r.Quals))
+	ctx := fe.ctxFor(nil)
+	for i := range r.Quals {
+		q := &r.Quals[i]
+		switch q.Kind {
+		case sqlast.QualPoint:
+			v, err := eval.Eval(ctx, q.Val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
+			}
+			lists[i] = []types.Value{v}
+		case sqlast.QualForIn:
+			lists[i] = q.forCache
+		default:
+			return nil, fmt.Errorf("%s: internal: existential qualifier in point rule", r.Label)
+		}
+	}
+	var out [][]types.Value
+	dims := make([]types.Value, len(lists))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(lists) {
+			out = append(out, append([]types.Value(nil), dims...))
+			return
+		}
+		for _, v := range lists[d] {
+			dims[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out, nil
+}
+
+// applyPoint fires a single-cell rule for one target.
+func (fe *frameEval) applyPoint(r *Rule, dims []types.Value, ctx *eval.Context) error {
+	// Trigger condition for dimensions promoted into the distribution key:
+	// the target must belong to this partition's data (§5, UPSERT case).
+	for _, p := range fe.opts.Promoted {
+		if !types.Equal(dims[p.Dby], fe.f.pby[p.Pby]) {
+			return nil
+		}
+	}
+	pos, ok := fe.f.Lookup(dims)
+	if !ok {
+		if !r.Upsert {
+			return nil // UPDATE ignores nonexistent cells
+		}
+		pos = fe.insertRow(dims)
+	}
+	row := fe.f.Row(pos).Clone()
+	rctx := *ctx
+	rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
+	v, err := eval.Eval(&rctx, r.RHS)
+	if err != nil {
+		return fmt.Errorf("%s: %v", r.Label, err)
+	}
+	return fe.assignMeasure(pos, r.Mea, v)
+}
+
+// insertRow creates an UPSERTed cell and notifies maintenance and
+// convergence tracking.
+func (fe *frameEval) insertRow(dims []types.Value) int {
+	pos := fe.f.Insert(fe.m, dims)
+	fe.f.MarkUpdated(pos)
+	if fe.trackRefs {
+		fe.changed = true // a new cell signals additional iterations
+	}
+	if fe.assigned != nil {
+		fe.assigned[fe.f.flagKey(pos, fe.m.Schema.Len())] = true
+	}
+	if fe.maintained != nil {
+		row := fe.f.Row(pos)
+		for _, inst := range fe.maintained {
+			if err := inst.onInsert(fe, pos, row); err != nil {
+				// Maintenance errors surface on the next assignment; in
+				// practice instances never error on insert because their
+				// matchers were validated during the build scan.
+				_ = err
+			}
+		}
+	}
+	return pos
+}
+
+// assignMeasure writes a measure, driving convergence detection and
+// aggregate maintenance.
+func (fe *frameEval) assignMeasure(pos, mea int, v types.Value) error {
+	fe.f.MarkUpdated(pos)
+	id := fe.f.ids[pos]
+	row := fe.f.b.store.Get(id)
+	oldV := row[mea]
+	changed := !(oldV.K == v.K && types.Equal(oldV, v))
+	if changed {
+		nr := row.Clone()
+		nr[mea] = v
+		fe.f.b.store.Set(id, nr)
+		row = nr
+	}
+	if fe.assigned != nil {
+		fe.assigned[fe.f.flagKey(pos, mea)] = true
+	}
+	if changed && fe.trackRefs {
+		if fe.f.Referenced(fe.gen, pos, mea) || fe.f.Referenced(1-fe.gen, pos, mea) {
+			fe.changed = true
+		}
+	}
+	if changed && fe.maintained != nil {
+		for _, inst := range fe.maintained {
+			if err := inst.onWrite(fe, row, mea, oldV, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyExistential fires an existential rule: scan (II) finds the target
+// rows, then each target evaluates its right side — with scan (III) for any
+// non-probe aggregates.
+func (fe *frameEval) applyExistential(r *Rule) error {
+	targets, err := fe.matchTargets(r)
+	if err != nil {
+		return err
+	}
+	if len(r.OrderBy) > 0 {
+		if err := fe.sortTargets(r, targets); err != nil {
+			return err
+		}
+	}
+	_, cellAggs := sqlast.CellRefs(r.RHS)
+	if len(cellAggs) == 0 {
+		// Fast path: no aggregates, so one shared context serves every
+		// target — cv() reads fe.cv, rebound per row.
+		ctx := fe.ctxFor(nil)
+		binding := &eval.Binding{BS: fe.bs}
+		ctx.Binding = binding
+		for _, pos := range targets {
+			row := fe.f.Row(pos)
+			copy(fe.cv, row[fe.m.NPby:fe.m.NPby+fe.m.NDby])
+			binding.Row = row
+			v, err := eval.Eval(ctx, r.RHS)
+			if err != nil {
+				return fmt.Errorf("%s: %v", r.Label, err)
+			}
+			if err := fe.assignMeasure(pos, r.Mea, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, pos := range targets {
+		row := fe.f.Row(pos).Clone()
+		dims := make([]types.Value, fe.m.NDby)
+		copy(dims, row[fe.m.NPby:fe.m.NPby+fe.m.NDby])
+		ctx := fe.targetCtx(r, dims)
+		if len(cellAggs) > 0 {
+			am := make(map[*sqlast.CellAgg]*aggInstance, len(cellAggs))
+			var scans []*aggInstance
+			for _, ca := range cellAggs {
+				inst, err := fe.buildInstance(ctx, ca)
+				if err != nil {
+					return fmt.Errorf("%s: %v", r.Label, err)
+				}
+				if inst.probe {
+					if err := inst.runProbe(fe); err != nil {
+						return err
+					}
+				} else {
+					scans = append(scans, inst)
+				}
+				am[ca] = inst
+			}
+			if len(scans) > 0 {
+				if err := fe.scanFeed(scans); err != nil {
+					return err
+				}
+			}
+			fe.curAggs = am
+		}
+		rctx := *ctx
+		rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
+		v, err := eval.Eval(&rctx, r.RHS)
+		fe.curAggs = nil
+		if err != nil {
+			return fmt.Errorf("%s: %v", r.Label, err)
+		}
+		if err := fe.assignMeasure(pos, r.Mea, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchTargets scans the partition for rows matching an existential left
+// side.
+func (fe *frameEval) matchTargets(r *Rule) ([]int, error) {
+	ctx := fe.ctxFor(nil)
+	// Pre-evaluate constant qualifier parts.
+	type dimTest func(row types.Row) (bool, error)
+	tests := make([]dimTest, len(r.Quals))
+	for i := range r.Quals {
+		q := &r.Quals[i]
+		col := fe.m.NPby + i
+		switch q.Kind {
+		case sqlast.QualStar:
+			tests[i] = func(types.Row) (bool, error) { return true, nil }
+		case sqlast.QualPoint:
+			v, err := eval.Eval(ctx, q.Val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
+			}
+			tests[i] = func(row types.Row) (bool, error) { return types.Equal(row[col], v), nil }
+		case sqlast.QualRange:
+			lo, err := eval.Eval(ctx, q.Lo)
+			if err != nil {
+				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
+			}
+			hi, err := eval.Eval(ctx, q.Hi)
+			if err != nil {
+				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
+			}
+			loIncl, hiIncl := q.LoIncl, q.HiIncl
+			tests[i] = func(row types.Row) (bool, error) {
+				v := row[col]
+				if v.IsNull() || lo.IsNull() || hi.IsNull() {
+					return false, nil
+				}
+				cl := types.Compare(v, lo)
+				if cl < 0 || (cl == 0 && !loIncl) {
+					return false, nil
+				}
+				ch := types.Compare(v, hi)
+				if ch > 0 || (ch == 0 && !hiIncl) {
+					return false, nil
+				}
+				return true, nil
+			}
+		case sqlast.QualPred:
+			pred := q.Pred
+			tests[i] = func(row types.Row) (bool, error) {
+				rctx := *ctx
+				rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
+				return eval.EvalBool(&rctx, pred)
+			}
+		case sqlast.QualForIn:
+			vals := q.forCache
+			tests[i] = func(row types.Row) (bool, error) {
+				for _, v := range vals {
+					if types.Equal(row[col], v) {
+						return true, nil
+					}
+				}
+				return false, nil
+			}
+		}
+	}
+	var out []int
+	var ferr error
+	fe.f.Each(func(pos int, row types.Row) bool {
+		for _, t := range tests {
+			ok, err := t(row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		out = append(out, pos)
+		return true
+	})
+	return out, ferr
+}
+
+// sortTargets orders existential targets by the rule's ORDER BY.
+func (fe *frameEval) sortTargets(r *Rule, targets []int) error {
+	type keyed struct {
+		pos  int
+		keys []types.Value
+	}
+	ks := make([]keyed, len(targets))
+	ctx := fe.ctxFor(nil)
+	for i, pos := range targets {
+		row := fe.f.Row(pos).Clone()
+		rctx := *ctx
+		rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
+		keys := make([]types.Value, len(r.OrderBy))
+		for j, o := range r.OrderBy {
+			v, err := eval.Eval(&rctx, o.Expr)
+			if err != nil {
+				return fmt.Errorf("%s: ORDER BY: %v", r.Label, err)
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{pos: pos, keys: keys}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		for k := range a.keys {
+			c := types.Compare(a.keys[k], b.keys[k])
+			if r.OrderBy[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return a.pos < b.pos
+	})
+	for i := range ks {
+		targets[i] = ks[i].pos
+	}
+	return nil
+}

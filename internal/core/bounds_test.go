@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sqlsheet/internal/types"
+)
+
+func rng(lo, hi any, loIncl, hiIncl bool) Bound {
+	b := Bound{IsRange: true, LoIncl: loIncl, HiIncl: hiIncl}
+	if lo != nil {
+		b.Lo = V(lo)
+	}
+	if hi != nil {
+		b.Hi = V(hi)
+	}
+	return b
+}
+
+func TestBoundsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Bound
+		want bool
+	}{
+		{allBound(), valsBound(V(1)), true},
+		{valsBound(V(1), V(2)), valsBound(V(2), V(3)), true},
+		{valsBound(V(1)), valsBound(V(2)), false},
+		{valsBound(V(2002)), valsBound(V(types.NewFloat(2002))), true}, // cross-kind
+		{rng(1, 5, true, true), valsBound(V(3)), true},
+		{rng(1, 5, true, false), valsBound(V(5)), false},
+		{rng(1, 5, true, true), rng(5, 9, true, true), true},
+		{rng(1, 5, true, false), rng(5, 9, true, true), false},
+		{rng(1, 5, true, true), rng(6, 9, true, true), false},
+		{rng(nil, 5, false, true), rng(5, nil, true, false), true},
+		{rng(nil, 4, false, true), rng(5, nil, true, false), false},
+	}
+	for i, c := range cases {
+		if got := boundsIntersect(c.a, c.b); got != c.want {
+			t.Errorf("case %d: intersect(%+v, %+v) = %v", i, c.a, c.b, got)
+		}
+		if got := boundsIntersect(c.b, c.a); got != c.want {
+			t.Errorf("case %d: intersect must be symmetric", i)
+		}
+	}
+}
+
+func TestBoundUnionContainsBoth(t *testing.T) {
+	// Property: the union of two finite bounds contains every value of
+	// both operands.
+	f := func(as, bs []int16) bool {
+		if len(as) == 0 || len(bs) == 0 || len(as) > 8 || len(bs) > 8 {
+			return true
+		}
+		var a, b Bound
+		for _, v := range as {
+			a.Vals = append(a.Vals, types.NewInt(int64(v)))
+		}
+		for _, v := range bs {
+			b.Vals = append(b.Vals, types.NewInt(int64(v)))
+		}
+		u := unionBound(a, b)
+		for _, v := range append(append([]types.Value{}, a.Vals...), b.Vals...) {
+			if !rangeContains(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectBoundSoundness(t *testing.T) {
+	// Property: a value in both operands stays in the intersection.
+	f := func(vals []int16, lo, hi int16) bool {
+		if len(vals) == 0 || len(vals) > 10 {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var vb Bound
+		for _, v := range vals {
+			vb.Vals = append(vb.Vals, types.NewInt(int64(v)))
+		}
+		rb := rng(int(lo), int(hi), true, true)
+		out := intersectBound(vb, rb)
+		for _, v := range vb.Vals {
+			inBoth := rangeContains(rb, v)
+			if inBoth && !rangeContains(out, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftBound(t *testing.T) {
+	b := shiftBound(valsBound(V(2000), V(2001)), -1)
+	if len(b.Vals) != 2 || b.Vals[0].I != 1999 {
+		t.Errorf("shift vals = %+v", b)
+	}
+	b = shiftBound(rng(1990, 2000, true, false), 5)
+	if b.Lo.I != 1995 || b.Hi.I != 2005 || !b.LoIncl || b.HiIncl {
+		t.Errorf("shift range = %+v", b)
+	}
+	// Non-integer values degrade to All.
+	if !shiftBound(valsBound(V("dvd")), 1).All {
+		t.Error("string shift must degrade to All")
+	}
+}
+
+func TestBoundPredicate(t *testing.T) {
+	cases := []struct {
+		b    Bound
+		want string
+	}{
+		{valsBound(V(2000)), "(t = 2000)"},
+		{valsBound(V(1), V(2)), "t IN (1, 2)"},
+		{rng(1, 5, true, false), "((t >= 1) AND (t < 5))"},
+		{rng(nil, 5, false, true), "(t <= 5)"},
+		{Bound{}, "FALSE"}, // empty set matches nothing
+	}
+	for _, c := range cases {
+		p := BoundPredicate("t", c.b)
+		got := "nil"
+		if p != nil {
+			got = p.String()
+		}
+		if c.want == "FALSE" {
+			if got != "false" {
+				t.Errorf("empty bound = %s", got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("BoundPredicate(%+v) = %s, want %s", c.b, got, c.want)
+		}
+	}
+	if BoundPredicate("t", allBound()) != nil {
+		t.Error("All bound must give no predicate")
+	}
+}
+
+func TestCvShiftRecognition(t *testing.T) {
+	m := mustModel(t, `SELECT p, t, s FROM f SPREADSHEET DBY (p, t) MEA (s) UPDATE
+		( s['dvd', 2002] = s[cv(p), t=cv(t)-1] + s[cv(p), cv(t)+2] )`, nil)
+	r := m.Rules[0]
+	// Reads: t shifted by -1 and +2 from the LHS {2002}.
+	found := map[int64]bool{}
+	for _, a := range r.reads {
+		if a.rect == nil || a.rect[1].All {
+			continue
+		}
+		for _, v := range a.rect[1].Vals {
+			found[v.I] = true
+		}
+	}
+	if !found[2001] || !found[2004] {
+		t.Errorf("cv-shift rectangles wrong: %v", found)
+	}
+}
+
+func TestDepGraphLevelsRespectDependencies(t *testing.T) {
+	// Property-style check over the compiled example set: in every level
+	// plan, a rule's dependencies occur in strictly earlier steps.
+	m := mustModel(t, `SELECT p, t, s FROM f SPREADSHEET DBY (p, t) MEA (s) UPDATE
+		(
+		F1: s['a', 4] = s['a', 3] + s['b', 3],
+		F2: s['a', 3] = s['a', 2] * 2,
+		F3: s['b', 3] = sum(s)['b', t<3],
+		F4: s['a', 2] = 1,
+		F5: s['c', 9] = 5
+		)`, nil)
+	if err := m.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	steps, _ := m.Levels()
+	stepOf := map[int]int{}
+	for si, rules := range steps {
+		for _, ri := range rules {
+			stepOf[ri] = si
+		}
+	}
+	for ri := range m.Rules {
+		for _, dep := range m.depEdges[ri] {
+			if dep == ri {
+				continue
+			}
+			if stepOf[dep] >= stepOf[ri] {
+				t.Errorf("rule %d (step %d) depends on rule %d (step %d)",
+					ri, stepOf[ri], dep, stepOf[dep])
+			}
+		}
+	}
+	// F5 (independent point) must share the first level with F4.
+	if len(steps[0]) < 2 {
+		t.Errorf("independent single_refs not batched: %v", steps)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// This file exposes the pieces of the compile-time analysis the query
+// optimizer (internal/plan) consumes.
+
+// AllBound returns the unbounded (unknown) bound.
+func AllBound() Bound { return allBound() }
+
+// ValueBound returns a finite-set bound.
+func ValueBound(vals ...types.Value) Bound { return Bound{Vals: vals} }
+
+// IsAll reports whether the bound is unconstrained.
+func (b Bound) IsAll() bool { return b.All }
+
+// FiniteVals returns the bound's value set when it is finite.
+func (b Bound) FiniteVals() ([]types.Value, bool) {
+	if b.All || b.IsRange {
+		return nil, false
+	}
+	return b.Vals, true
+}
+
+// Union hulls two bounds.
+func (b Bound) Union(o Bound) Bound { return unionBound(b, o) }
+
+// Intersect conservatively intersects two bounds.
+func (b Bound) Intersect(o Bound) Bound { return intersectBound(b, o) }
+
+// Contains reports whether the bound admits v.
+func (b Bound) Contains(v types.Value) bool { return rangeContains(b, v) }
+
+// PredBound extracts the bound a predicate imposes on the named DBY
+// dimension (All when the predicate is too complex to analyze).
+func (m *Model) PredBound(pred sqlast.Expr, dim string) Bound {
+	return m.predBound(pred, dim, nil)
+}
+
+// RefForMeasure resolves a reference-sheet measure name.
+func (m *Model) RefForMeasure(measure string) (*RefMeta, bool) {
+	rb, ok := m.refMeas[measure]
+	if !ok {
+		return nil, false
+	}
+	return rb.sheet, true
+}
+
+// MeasureNames returns the main sheet's measure column names in order.
+func (m *Model) MeasureNames() []string {
+	out := make([]string, m.NMea)
+	for i := 0; i < m.NMea; i++ {
+		out[i] = m.Schema.Cols[m.NPby+m.NDby+i].Name
+	}
+	return out
+}
+
+// PbyNames returns the partition column names.
+func (m *Model) PbyNames() []string {
+	out := make([]string, m.NPby)
+	for i := 0; i < m.NPby; i++ {
+		out[i] = m.Schema.Cols[i].Name
+	}
+	return out
+}
+
+// DimNames returns the DBY column names.
+func (m *Model) DimNames() []string {
+	out := make([]string, m.NDby)
+	for d := 0; d < m.NDby; d++ {
+		out[d] = m.DimName(d)
+	}
+	return out
+}
+
+// UnfoldDim performs the paper's "formula unfolding" transformation for a
+// functionally independent dimension: each rule whose left side ranges over
+// the dimension is replaced by one specialized rule per outer value, with
+// cv(dim) replaced by the value and refmea[cv(dim)] lookups replaced by
+// their materialized results. lookup(measure, v) supplies those results.
+func (m *Model) UnfoldDim(d int, vals []types.Value, lookup func(measure string, v types.Value) (types.Value, bool)) error {
+	dim := m.DimName(d)
+	var newRules []*Rule
+	var newFormulas []*sqlast.Formula
+	for _, r := range m.Rules {
+		q := r.Quals[d]
+		switch q.Kind {
+		case sqlast.QualStar, sqlast.QualPred, sqlast.QualRange:
+			// Existential over the unfold dimension: specialize per value.
+			for vi, v := range vals {
+				if q.Kind != sqlast.QualStar {
+					// Keep only values the original qualifier admits.
+					if !m.qualBound(&q, nil).Contains(v) {
+						continue
+					}
+				}
+				nf, err := specializeFormula(r.Src, d, dim, v, lookup)
+				if err != nil {
+					return err
+				}
+				if nf.Label != "" {
+					nf.Label = fmt.Sprintf("%s_%d", nf.Label, vi+1)
+				}
+				newFormulas = append(newFormulas, nf)
+			}
+		case sqlast.QualPoint:
+			// A point rule on the dimension stays; pruning removes it if
+			// its value falls outside the outer filter.
+			newFormulas = append(newFormulas, r.Src)
+		default:
+			newFormulas = append(newFormulas, r.Src)
+		}
+	}
+	// Recompile the transformed rule list.
+	for i, f := range newFormulas {
+		nr, err := m.compileRule(f, i)
+		if err != nil {
+			return fmt.Errorf("unfold: %v", err)
+		}
+		newRules = append(newRules, nr)
+	}
+	m.Rules = newRules
+	m.levels = nil
+	m.depEdges = nil
+	return nil
+}
+
+// specializeFormula clones a formula with the unfold dimension pinned to v.
+func specializeFormula(f *sqlast.Formula, d int, dim string, v types.Value, lookup func(string, types.Value) (types.Value, bool)) (*sqlast.Formula, error) {
+	lit := &sqlast.Literal{Val: v}
+	subst := func(e sqlast.Expr) sqlast.Expr {
+		switch x := e.(type) {
+		case *sqlast.CurrentV:
+			if x.Dim == dim {
+				return lit
+			}
+		case *sqlast.CellRef:
+			// refmea[cv(dim)] (already substituted to refmea[v]) → value.
+			if len(x.Quals) == 1 && x.Quals[0].Kind == sqlast.QualPoint {
+				if l, ok := x.Quals[0].Val.(*sqlast.Literal); ok && types.Equal(l.Val, v) {
+					if lv, found := lookup(x.Measure, v); found {
+						return &sqlast.Literal{Val: lv}
+					}
+				}
+			}
+		}
+		return e
+	}
+	// Pin the left-side qualifier.
+	lhs := sqlast.Transform(f.LHS, subst).(*sqlast.CellRef)
+	lhs.Quals[d] = sqlast.DimQual{Kind: sqlast.QualPoint, Val: lit}
+	rhs := sqlast.Transform(f.RHS, subst)
+	return &sqlast.Formula{Label: f.Label, Mode: f.Mode, LHS: lhs, RHS: rhs}, nil
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/btree"
+	"sqlsheet/internal/types"
+)
+
+// PartitionSet is the paper's two-level hash access structure (§5): rows are
+// hash partitioned on the PBY columns into first-level buckets; within each
+// bucket a hash table on the DBY columns addresses individual cells. Each
+// bucket owns one row store, so bounding the store's memory models the
+// paper's "fit the second-level hash tables of each first-level partition in
+// memory" regime, with spilling beyond it.
+type PartitionSet struct {
+	model   *Model
+	buckets []*bucket
+}
+
+type bucket struct {
+	store  blockstore.Store
+	frames []*Frame          // spreadsheet partitions, in first-seen order
+	byKey  map[string]*Frame // PBY key -> frame
+}
+
+// Frame is one spreadsheet partition: all rows sharing the PBY values.
+type Frame struct {
+	b   *bucket
+	pby []types.Value
+	// ids holds the partition's rows in insertion order.
+	ids []blockstore.RowID
+	// index maps the DBY key to the row's position in ids. Records within a
+	// bucket stay clustered per frame, making partition scans and probes
+	// cheap (the paper clusters hash buckets on PBY+DBY for the same
+	// reason). Exactly one of index (hash) and bidx (B-tree, the paper's
+	// abandoned first implementation, kept as an ablation) is non-nil.
+	index map[string]int
+	bidx  *btree.Tree
+	// present snapshots the keys that existed before formula execution
+	// (the IS PRESENT predicate).
+	present map[string]bool
+	// updated records positions assigned or created by a rule
+	// (RETURN UPDATED ROWS).
+	updated map[int]bool
+
+	// refFlags are the Auto-Cyclic convergence flags: two generations of
+	// per-cell "referenced" marks, alternated between iterations so that
+	// clearing is free (§5).
+	refFlags [2]map[int64]bool
+}
+
+// StoreFactory builds the row store for one first-level bucket.
+type StoreFactory func() blockstore.Store
+
+// ChooseBuckets picks the number of first-level partitions from the
+// estimated data size, the per-bucket memory budget and the parallel degree
+// ("the number of first level partitions is chosen based on estimated size
+// of data ... and the amount of available memory").
+func ChooseBuckets(nRows int, avgRowBytes, budgetBytes int64, dop int) int {
+	n := dop
+	if n < 1 {
+		n = 1
+	}
+	if budgetBytes > 0 && avgRowBytes > 0 {
+		need := int((int64(nRows)*avgRowBytes + budgetBytes - 1) / budgetBytes)
+		if need > n {
+			n = need
+		}
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// MarkUpdated records that a rule assigned or created the row at pos.
+func (f *Frame) MarkUpdated(pos int) {
+	if f.updated == nil {
+		f.updated = make(map[int]bool)
+	}
+	f.updated[pos] = true
+}
+
+// BuildPartitions loads rows (working-schema layout) into the two-level
+// structure. The paper requires DBY columns to uniquely identify a row
+// within each partition; duplicates are an error.
+//
+// Rows are appended to each bucket's store clustered by frame ("the hash
+// access structure maintains records within a hash bucket clustered on PBY
+// and DBY column values"), so evaluating one spreadsheet partition touches
+// a contiguous run of blocks — the locality Fig. 5 depends on.
+func BuildPartitions(m *Model, rows []types.Row, nBuckets int, newStore StoreFactory) (*PartitionSet, error) {
+	return buildPartitions(m, rows, nBuckets, newStore, false)
+}
+
+// BuildPartitionsBTree builds the structure with B-tree second-level
+// indexes instead of hash tables (access-path ablation).
+func BuildPartitionsBTree(m *Model, rows []types.Row, nBuckets int, newStore StoreFactory) (*PartitionSet, error) {
+	return buildPartitions(m, rows, nBuckets, newStore, true)
+}
+
+func buildPartitions(m *Model, rows []types.Row, nBuckets int, newStore StoreFactory, useBTree bool) (*PartitionSet, error) {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	ps := &PartitionSet{model: m}
+	ps.buckets = make([]*bucket, nBuckets)
+	for i := range ps.buckets {
+		ps.buckets[i] = &bucket{store: newStore(), byKey: make(map[string]*Frame)}
+	}
+	// Pass 1: assign rows to frames, recording input positions per frame.
+	var keyBuf []byte
+	framePos := make(map[*Frame][]int)
+	for ri, row := range rows {
+		keyBuf = keyBuf[:0]
+		for i := 0; i < m.NPby; i++ {
+			keyBuf = types.AppendKey(keyBuf, row[i])
+		}
+		b := ps.buckets[bucketOf(keyBuf, nBuckets)]
+		f := b.byKey[string(keyBuf)]
+		if f == nil {
+			f = &Frame{
+				b:       b,
+				pby:     append([]types.Value(nil), row[:m.NPby]...),
+				present: make(map[string]bool),
+			}
+			if useBTree {
+				f.bidx = btree.New()
+			} else {
+				f.index = make(map[string]int)
+			}
+			b.byKey[string(keyBuf)] = f
+			b.frames = append(b.frames, f)
+		}
+		framePos[f] = append(framePos[f], ri)
+	}
+	// Pass 2: append frame by frame so each partition's rows stay
+	// block-clustered within its bucket's store, in second-level hash
+	// order within the frame (a hash table lays records out by bucket, not
+	// by insertion or key order — which is what makes memory pressure bite
+	// once a partition stops fitting, Fig. 5).
+	for _, b := range ps.buckets {
+		for _, f := range b.frames {
+			poss := framePos[f]
+			// Precompute each row's second-level hash once; sorting with
+			// per-comparison key construction would allocate O(n log n)
+			// strings.
+			hashes := make([]uint32, len(poss))
+			var kb []byte
+			for i, ri := range poss {
+				kb = kb[:0]
+				for d := 0; d < m.NDby; d++ {
+					kb = types.AppendKey(kb, rows[ri][m.NPby+d])
+				}
+				hashes[i] = hashBytes(kb)
+			}
+			order := make([]int, len(poss))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(i, j int) bool { return hashes[order[i]] < hashes[order[j]] })
+			sorted := make([]int, len(poss))
+			for k, oi := range order {
+				sorted[k] = poss[oi]
+			}
+			for _, ri := range sorted {
+				row := rows[ri]
+				dk := dbyKey(m, row)
+				if _, dup := f.lookupKey([]byte(dk)); dup {
+					return nil, fmt.Errorf("spreadsheet: DBY columns (%s) do not uniquely identify row %v within its partition",
+						joinNames(m.DimNames()), row[m.NPby:m.NPby+m.NDby])
+				}
+				id := b.store.Append(row.Clone())
+				f.putKey(dk, len(f.ids))
+				f.ids = append(f.ids, id)
+				f.present[dk] = true
+			}
+		}
+	}
+	return ps, nil
+}
+
+func joinNames(ns []string) string {
+	out := ""
+	for i, n := range ns {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func bucketOf(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % n
+}
+
+// hashBytes gives the second-level hash ordering of an encoded DBY key.
+func hashBytes(key []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(key)
+	return h.Sum32()
+}
+
+// HashValue exposes the bucket hash for a single dimension value; the
+// parallel executor uses it for the per-PE formula trigger condition
+// (WHERE HASH(p) = hash_value_of_P_for_this_PE).
+func HashValue(v types.Value, n int) int {
+	return bucketOf(types.AppendKey(nil, v), n)
+}
+
+// dbyKey builds the second-level hash key from a working-schema row.
+func dbyKey(m *Model, row types.Row) string {
+	buf := make([]byte, 0, 16*m.NDby)
+	for d := 0; d < m.NDby; d++ {
+		buf = types.AppendKey(buf, row[m.NPby+d])
+	}
+	return string(buf)
+}
+
+// keyOf builds the second-level key directly from dimension values.
+func keyOf(vals []types.Value) string {
+	buf := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		buf = types.AppendKey(buf, v)
+	}
+	return string(buf)
+}
+
+// Buckets returns the first-level partitions (for parallel execution).
+func (ps *PartitionSet) Buckets() []*bucket { return ps.buckets }
+
+// Rows gathers every row back out in deterministic order: bucket index,
+// frame discovery order, row insertion order. updatedOnly restricts the
+// output to rows assigned or created by rules (RETURN UPDATED ROWS).
+func (ps *PartitionSet) Rows(updatedOnly bool) []types.Row {
+	var out []types.Row
+	for _, b := range ps.buckets {
+		for _, f := range b.frames {
+			for pos, id := range f.ids {
+				if updatedOnly && !f.updated[pos] {
+					continue
+				}
+				out = append(out, b.store.Get(id).Clone())
+			}
+		}
+	}
+	return out
+}
+
+// Stats sums the I/O statistics of every bucket store.
+func (ps *PartitionSet) Stats() blockstore.Stats {
+	var s blockstore.Stats
+	for _, b := range ps.buckets {
+		bs := b.store.Stats()
+		s.BlockLoads += bs.BlockLoads
+		s.BlockEvictions += bs.BlockEvictions
+		s.BytesSpilled += bs.BytesSpilled
+		s.BytesLoaded += bs.BytesLoaded
+	}
+	return s
+}
+
+// Close releases every bucket store.
+func (ps *PartitionSet) Close() error {
+	var err error
+	for _, b := range ps.buckets {
+		if cerr := b.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// --- Frame operations ---
+
+// Len returns the number of rows currently in the frame.
+func (f *Frame) Len() int { return len(f.ids) }
+
+// PBY returns the partition's PBY values.
+func (f *Frame) PBY() []types.Value { return f.pby }
+
+// Row returns the row at position pos. The returned slice must not be
+// retained across other frame operations.
+func (f *Frame) Row(pos int) types.Row { return f.b.store.Get(f.ids[pos]) }
+
+// lookupKey probes the second-level index with an encoded DBY key.
+func (f *Frame) lookupKey(key []byte) (int, bool) {
+	if f.index != nil {
+		pos, ok := f.index[string(key)] // no-alloc map probe
+		return pos, ok
+	}
+	return f.bidx.Get(string(key))
+}
+
+// putKey registers a key at a row position.
+func (f *Frame) putKey(key string, pos int) {
+	if f.index != nil {
+		f.index[key] = pos
+		return
+	}
+	f.bidx.Put(key, pos)
+}
+
+// Lookup probes the second-level index with dimension values.
+func (f *Frame) Lookup(dims []types.Value) (pos int, ok bool) {
+	return f.lookupKey([]byte(keyOf(dims)))
+}
+
+// WasPresent reports whether the cell existed before the spreadsheet ran.
+func (f *Frame) WasPresent(dims []types.Value) bool {
+	return f.present[keyOf(dims)]
+}
+
+// SetMeasure assigns one measure of the row at pos and reports whether the
+// stored value changed.
+func (f *Frame) SetMeasure(pos, col int, v types.Value) bool {
+	id := f.ids[pos]
+	row := f.b.store.Get(id)
+	old := row[col]
+	if old.K == v.K && types.Equal(old, v) {
+		return false
+	}
+	nr := row.Clone()
+	nr[col] = v
+	f.b.store.Set(id, nr)
+	return true
+}
+
+// Insert adds a new row for the given dimension values: PBY columns take
+// the partition's values, DBY columns the target values, measures NULL.
+// It returns the new row's position.
+func (f *Frame) Insert(m *Model, dims []types.Value) int {
+	row := make(types.Row, m.Schema.Len())
+	copy(row, f.pby)
+	copy(row[m.NPby:], dims)
+	id := f.b.store.Append(row)
+	pos := len(f.ids)
+	f.ids = append(f.ids, id)
+	f.putKey(keyOf(dims), pos)
+	return pos
+}
+
+// Each scans the frame's rows in insertion order. The callback's row must
+// not be retained. Rows inserted during the scan are not visited.
+func (f *Frame) Each(fn func(pos int, row types.Row) bool) {
+	n := len(f.ids)
+	for pos := 0; pos < n; pos++ {
+		if !fn(pos, f.b.store.Get(f.ids[pos])) {
+			return
+		}
+	}
+}
+
+// --- convergence flags (Auto-Cyclic) ---
+
+func (f *Frame) flagKey(pos, mea int) int64 { return int64(pos)<<16 | int64(mea) }
+
+// MarkReferenced records that a cell's measure was read in generation g.
+func (f *Frame) MarkReferenced(g int, pos, mea int) {
+	if f.refFlags[g] == nil {
+		f.refFlags[g] = make(map[int64]bool)
+	}
+	f.refFlags[g][f.flagKey(pos, mea)] = true
+}
+
+// Referenced reports whether the cell's measure was read in generation g.
+func (f *Frame) Referenced(g int, pos, mea int) bool {
+	return f.refFlags[g][f.flagKey(pos, mea)]
+}
+
+// ClearFlags resets generation g (the paper alternates two flags so only
+// the inactive generation needs clearing).
+func (f *Frame) ClearFlags(g int) { f.refFlags[g] = nil }

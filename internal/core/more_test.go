@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+func TestQualifiedReferenceSheetAccess(t *testing.T) {
+	m := mustModel(t, `SELECT p, m, s, r FROM f
+		SPREADSHEET
+		  REFERENCE prior ON (SELECT m, m_yago FROM time_dt) DBY(m) MEA(m_yago)
+		  PBY(p) DBY (m) MEA (s, r)
+		RULES UPDATE
+		( F1: r[*] = s[prior.m_yago[cv(m)]] )`,
+		map[string][]types.Row{"prior": {R("1999-01", "1998-01")}})
+	rows := []types.Row{
+		R("dvd", "1999-01", 30.0, nil),
+		R("dvd", "1998-01", 10.0, nil),
+	}
+	idx := run(t, m, rows, RunOptions{})
+	if got := cell(t, idx, "dvd", "1999-01")[3].Float(); got != 10 {
+		t.Errorf("qualified ref lookup = %v", got)
+	}
+}
+
+func TestCountStarAndMinMaxOverCells(t *testing.T) {
+	m := mustModel(t, `SELECT p, t, s FROM f SPREADSHEET DBY (p, t) MEA (s)
+		(
+		  s['n',   0] = count(*)['x', t > 0],
+		  s['cnt', 0] = count(s)['x', t > 0],
+		  s['min', 0] = min(s)['x', *],
+		  s['max', 0] = max(s)['x', *]
+		)`, nil)
+	rows := []types.Row{
+		R("x", 1, 5.0), R("x", 2, nil), R("x", 3, 2.0), R("x", 4, 9.0),
+	}
+	idx := run(t, m, rows, RunOptions{})
+	if got := cell(t, idx, "n", 0)[2].Int(); got != 4 {
+		t.Errorf("count(*) = %v", got)
+	}
+	if got := cell(t, idx, "cnt", 0)[2].Int(); got != 3 {
+		t.Errorf("count(s) = %v (NULL must not count)", got)
+	}
+	if got := cell(t, idx, "min", 0)[2].Float(); got != 2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := cell(t, idx, "max", 0)[2].Float(); got != 9 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestAggregateOverExpressionArgs(t *testing.T) {
+	m := mustModel(t, `SELECT t, s, c FROM f SPREADSHEET DBY (t) MEA (s, c)
+		( s[0] = sum(s * c)[t > 0] )`, nil)
+	rows := []types.Row{
+		R(0, 0.0, 0.0), R(1, 2.0, 3.0), R(2, 4.0, 5.0),
+	}
+	idx := run(t, m, rows, RunOptions{})
+	if got := cell(t, idx, 0)[1].Float(); got != 2*3+4*5 {
+		t.Errorf("sum(s*c) = %v", got)
+	}
+}
+
+func TestCyclicWithUpsertConverges(t *testing.T) {
+	// A mutually-referencing pair that stabilizes: s[100] = s[1] (upsert)
+	// and s[1] = s[100]. After the first iteration both hold 5; the second
+	// iteration changes nothing and the fixpoint is detected.
+	m := mustModel(t, `SELECT t, s FROM f SPREADSHEET DBY (t) MEA (s)
+		(
+		  UPSERT s[100] = s[1] * 1,
+		  s[1] = s[t = 200 - 100] * 1
+		)`, nil)
+	if err := m.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cyclic() {
+		t.Fatal("pair must be classified cyclic")
+	}
+	idx := run(t, m, []types.Row{R(1, 5.0)}, RunOptions{})
+	if got := cell(t, idx, 100)[1].Float(); got != 5 {
+		t.Errorf("s[100] = %v", got)
+	}
+	if got := cell(t, idx, 1)[1].Float(); got != 5 {
+		t.Errorf("s[1] = %v", got)
+	}
+}
+
+func TestCyclicDivergentUpsertErrors(t *testing.T) {
+	m := mustModel(t, `SELECT t, s FROM f SPREADSHEET DBY (t) MEA (s)
+		(
+		  UPSERT s[100] = s[1] + 1,
+		  s[1] = s[t = 200 - 100] * 1
+		)`, nil)
+	_, _, err := m.Run([]types.Row{R(1, 5.0)}, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("divergent cyclic upsert: %v", err)
+	}
+}
+
+func TestIgnoreNavOnExistentialAndAggregates(t *testing.T) {
+	m := mustModel(t, `SELECT p, t, s FROM f SPREADSHEET DBY (p, t) MEA (s) IGNORE NAV UPDATE
+		( s[*, 3] = s[cv(p), 1] + s[cv(p), 2] )`, nil)
+	rows := []types.Row{
+		R("a", 1, 4.0), R("a", 2, nil), R("a", 3, 0.0),
+	}
+	idx := run(t, m, rows, RunOptions{})
+	if got := cell(t, idx, "a", 3)[2].Float(); got != 4 {
+		t.Errorf("IGNORE NAV existential = %v", got)
+	}
+}
+
+func TestEmptyRuleList(t *testing.T) {
+	m := mustModel(t, `SELECT t, s FROM f SPREADSHEET DBY (t) MEA (s) ( )`, nil)
+	out, _, err := m.Run([]types.Row{R(1, 2.0)}, RunOptions{})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("empty rules: %v, %d rows", err, len(out))
+	}
+}
+
+func TestChooseBuckets(t *testing.T) {
+	if got := ChooseBuckets(1000, 100, 0, 4); got != 4 {
+		t.Errorf("dop only = %d", got)
+	}
+	if got := ChooseBuckets(1000, 100, 10000, 1); got != 10 {
+		t.Errorf("budget driven = %d", got)
+	}
+	if got := ChooseBuckets(0, 0, 0, 0); got != 1 {
+		t.Errorf("floor = %d", got)
+	}
+	if got := ChooseBuckets(1<<30, 100, 10, 1); got != 1024 {
+		t.Errorf("cap = %d", got)
+	}
+}
+
+func TestNullDimensionValues(t *testing.T) {
+	// NULL is a legal dimension value and addresses its own cell.
+	m := mustModel(t, `SELECT t, s FROM f SPREADSHEET DBY (t) MEA (s)
+		( s[2000] = s[t = NULL] )`, nil)
+	// t = NULL comparison never matches under SQL semantics... but as a
+	// point qualifier the value NULL addresses the NULL cell.
+	idx := run(t, m, []types.Row{R(nil, 7.0), R(2000, 0.0)}, RunOptions{})
+	if got := cell(t, idx, 2000)[1].Float(); got != 7 {
+		t.Errorf("NULL-addressed cell = %v", got)
+	}
+}
+
+func TestLevelsExposedForExplain(t *testing.T) {
+	m := mustModel(t, `SELECT t, s FROM f SPREADSHEET DBY (t) MEA (s) UPDATE
+		( s[1] = s[1] / 2 )`, nil)
+	if err := m.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	steps, cyc := m.Levels()
+	if len(steps) != 1 || !cyc[0] {
+		t.Errorf("self-loop must form a cyclic step: %v %v", steps, cyc)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// PromotedDim records a DBY dimension duplicated into the distribution key
+// by the parallel optimizer (query S4 in the paper). Before firing a
+// non-existential formula, the engine verifies the trigger condition: the
+// formula's target value for the dimension must match the partition's value,
+// otherwise the formula belongs to a different PE's data and is skipped.
+type PromotedDim struct {
+	Pby int // PBY ordinal holding the duplicated value
+	Dby int // DBY ordinal of the dimension
+}
+
+// RunOptions configures spreadsheet execution.
+type RunOptions struct {
+	// Parallel is the number of processing elements (PEs); <=1 is serial.
+	Parallel int
+	// Buckets overrides the number of first-level hash partitions.
+	Buckets int
+	// NewStore supplies the per-bucket row store; nil uses in-memory.
+	NewStore StoreFactory
+	// Subquery executes subqueries inside formula expressions.
+	Subquery eval.SubqueryRunner
+	// Promoted lists dimensions duplicated into PBY for parallelism.
+	Promoted []PromotedDim
+	// DisableSingleScan turns off the cross-level single-scan aggregate
+	// maintenance optimization (per-level scans instead).
+	DisableSingleScan bool
+	// DisableRangeProbe turns off unfolding of small integer ranges into
+	// point probes (the paper's F1 transformation), forcing scans.
+	DisableRangeProbe bool
+	// UseBTreeIndex swaps the second-level hash tables for B-trees — the
+	// paper's abandoned first access method, kept as an ablation (§7).
+	UseBTreeIndex bool
+}
+
+// Run executes the compiled spreadsheet over rows in working-schema layout
+// and returns the result rows plus access-structure I/O statistics.
+func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.Stats, error) {
+	if m.levels == nil {
+		if err := m.Analyze(); err != nil {
+			return nil, blockstore.Stats{}, err
+		}
+	}
+	if err := m.prepareForIn(opts.Subquery); err != nil {
+		return nil, blockstore.Stats{}, err
+	}
+	newStore := opts.NewStore
+	if newStore == nil {
+		newStore = func() blockstore.Store { return blockstore.NewMem() }
+	}
+	nb := opts.Buckets
+	if nb <= 0 {
+		nb = opts.Parallel
+		if nb < 1 {
+			nb = 1
+		}
+	}
+	build := BuildPartitions
+	if opts.UseBTreeIndex {
+		build = BuildPartitionsBTree
+	}
+	ps, err := build(m, rows, nb, newStore)
+	if err != nil {
+		return nil, blockstore.Stats{}, err
+	}
+	defer ps.Close()
+
+	if opts.Parallel > 1 && len(ps.buckets) > 1 {
+		if err := m.runParallel(ps, &opts); err != nil {
+			return nil, ps.Stats(), err
+		}
+	} else {
+		for _, b := range ps.buckets {
+			for _, f := range b.frames {
+				if err := m.evalFrame(f, &opts); err != nil {
+					return nil, ps.Stats(), err
+				}
+			}
+		}
+	}
+	return ps.Rows(m.ReturnUpdated), ps.Stats(), nil
+}
+
+// runParallel distributes first-level buckets to PE goroutines coordinated
+// by this (query-coordinator) goroutine.
+func (m *Model) runParallel(ps *PartitionSet, opts *RunOptions) error {
+	dop := opts.Parallel
+	if dop > len(ps.buckets) {
+		dop = len(ps.buckets)
+	}
+	work := make(chan *bucket)
+	errs := make(chan error, dop)
+	var wg sync.WaitGroup
+	for pe := 0; pe < dop; pe++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				for _, f := range b.frames {
+					if err := m.evalFrame(f, opts); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, b := range ps.buckets {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// prepareForIn materializes FOR ... IN value lists (literals and
+// subqueries) into each qualifier's cache.
+func (m *Model) prepareForIn(runner eval.SubqueryRunner) error {
+	for _, r := range m.Rules {
+		for qi := range r.Quals {
+			q := &r.Quals[qi]
+			if q.Kind != sqlast.QualForIn || q.forCache != nil {
+				continue
+			}
+			if q.ForSub != nil {
+				if runner == nil {
+					return fmt.Errorf("%s: FOR %s IN (subquery) requires a subquery runner", r.Label, q.DimName)
+				}
+				vals, err := runner.Column(q.ForSub, nil)
+				if err != nil {
+					return fmt.Errorf("%s: FOR %s IN subquery: %v", r.Label, q.DimName, err)
+				}
+				q.forCache = vals
+				continue
+			}
+			if q.ForFrom != nil {
+				vals, err := enumerateFromTo(q, runner)
+				if err != nil {
+					return fmt.Errorf("%s: FOR %s FROM..TO: %v", r.Label, q.DimName, err)
+				}
+				q.forCache = vals
+				continue
+			}
+			vals := make([]types.Value, len(q.ForVals))
+			for i, e := range q.ForVals {
+				v, err := eval.Eval(&eval.Context{Subquery: runner}, e)
+				if err != nil {
+					return fmt.Errorf("%s: FOR %s IN value %d: %v", r.Label, q.DimName, i+1, err)
+				}
+				vals[i] = v
+			}
+			q.forCache = vals
+		}
+	}
+	return nil
+}
+
+// maxForEnumeration bounds FOR ... FROM ... TO expansions.
+const maxForEnumeration = 1 << 20
+
+// enumerateFromTo expands a FOR dim FROM lo TO hi [INCREMENT step]
+// qualifier into its value list.
+func enumerateFromTo(q *Qual, runner eval.SubqueryRunner) ([]types.Value, error) {
+	ctx := &eval.Context{Subquery: runner}
+	lo, err := eval.Eval(ctx, q.ForFrom)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := eval.Eval(ctx, q.ForTo)
+	if err != nil {
+		return nil, err
+	}
+	step := types.NewInt(1)
+	if q.ForStep != nil {
+		step, err = eval.Eval(ctx, q.ForStep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !lo.IsNumeric() || !hi.IsNumeric() || !step.IsNumeric() {
+		return nil, fmt.Errorf("bounds and increment must be numeric")
+	}
+	stepF := step.Float()
+	if stepF == 0 {
+		return nil, fmt.Errorf("INCREMENT must be nonzero")
+	}
+	isInt := lo.K == types.KindInt && hi.K == types.KindInt && step.K == types.KindInt
+	var out []types.Value
+	if stepF > 0 {
+		for v := lo.Float(); v <= hi.Float(); v += stepF {
+			if len(out) >= maxForEnumeration {
+				return nil, fmt.Errorf("enumeration exceeds %d values", maxForEnumeration)
+			}
+			out = append(out, numVal(v, isInt))
+		}
+	} else {
+		for v := lo.Float(); v >= hi.Float(); v += stepF {
+			if len(out) >= maxForEnumeration {
+				return nil, fmt.Errorf("enumeration exceeds %d values", maxForEnumeration)
+			}
+			out = append(out, numVal(v, isInt))
+		}
+	}
+	return out, nil
+}
+
+func numVal(v float64, isInt bool) types.Value {
+	if isInt {
+		return types.NewInt(int64(v))
+	}
+	return types.NewFloat(v)
+}
+
+// frameEval carries the per-frame evaluation state.
+type frameEval struct {
+	m    *Model
+	f    *Frame
+	opts *RunOptions
+	bs   *eval.BoundSchema
+
+	// cv values for the formula target currently being evaluated.
+	cv []types.Value // indexed by DBY ordinal; nil entry = not bound
+
+	// curAggs maps the CellAgg nodes of the rule under evaluation to their
+	// precomputed instances.
+	curAggs map[*sqlast.CellAgg]*aggInstance
+
+	// maintained lists instances under inverse maintenance (single-scan
+	// mode); nil otherwise.
+	maintained []*aggInstance
+
+	// trackRefs enables convergence-flag tracking (Auto-Cyclic).
+	trackRefs bool
+	gen       int
+	changed   bool
+	// assigned counts unique cells written in the current iteration.
+	assigned map[int64]bool
+
+	// previousVals resolves previous(cell) inside UNTIL conditions.
+	previousVals map[*sqlast.Previous]types.Value
+}
+
+func (m *Model) newFrameEval(f *Frame, opts *RunOptions) *frameEval {
+	return &frameEval{
+		m:    m,
+		f:    f,
+		opts: opts,
+		bs:   eval.FromSchema(m.Schema),
+		cv:   make([]types.Value, m.NDby),
+	}
+}
+
+// evalFrame runs the analysis plan over one spreadsheet partition.
+func (m *Model) evalFrame(f *Frame, opts *RunOptions) error {
+	fe := m.newFrameEval(f, opts)
+	if m.Iterate != nil || m.SeqOrder {
+		return fe.runSequential()
+	}
+	return fe.runAutomatic()
+}
+
+// --- evaluation contexts ---
+
+// ctxFor builds an evaluation context for right-side expressions, bound to
+// the given row (may be nil: partition constants only).
+func (fe *frameEval) ctxFor(row types.Row) *eval.Context {
+	nav := types.KeepNav
+	if fe.m.IgnoreNav {
+		nav = types.IgnoreNav
+	}
+	binding := &eval.Binding{BS: fe.bs, Row: row}
+	if row == nil {
+		// Expose PBY values only, padding the rest with NULLs.
+		pad := make(types.Row, fe.m.Schema.Len())
+		copy(pad, fe.f.pby)
+		binding.Row = pad
+	}
+	ctx := &eval.Context{
+		Binding:  binding,
+		Nav:      nav,
+		Subquery: fe.opts.Subquery,
+	}
+	ctx.CurrentV = func(dim string) (types.Value, error) {
+		if d := fe.m.DimOrdinal(dim); d >= 0 {
+			return fe.cv[d], nil
+		}
+		if p := fe.m.PbyOrdinal(dim); p >= 0 {
+			return fe.f.pby[p], nil
+		}
+		return types.Null, fmt.Errorf("cv(%s): unknown dimension", dim)
+	}
+	ctx.Cell = func(c *sqlast.CellRef) (types.Value, error) { return fe.evalCellRef(ctx, c) }
+	ctx.CellAgg = func(a *sqlast.CellAgg) (types.Value, error) { return fe.evalCellAgg(ctx, a) }
+	ctx.Present = func(c *sqlast.CellRef) (bool, error) {
+		if c.Sheet != "" || fe.m.MeasureOrdinal(c.Measure) < 0 {
+			return false, fmt.Errorf("IS PRESENT requires a main-sheet cell")
+		}
+		dims, err := fe.pointDims(ctx, c.Quals)
+		if err != nil {
+			return false, err
+		}
+		return fe.f.WasPresent(dims), nil
+	}
+	return ctx
+}
+
+// pointDims evaluates single-valued qualifiers into dimension values.
+func (fe *frameEval) pointDims(ctx *eval.Context, quals []sqlast.DimQual) ([]types.Value, error) {
+	dims := make([]types.Value, len(quals))
+	for i, q := range quals {
+		if q.Kind != sqlast.QualPoint {
+			return nil, fmt.Errorf("cell reference qualifier %d is not single-valued", i+1)
+		}
+		v, err := eval.Eval(ctx, q.Val)
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// evalCellKey evaluates point qualifiers directly into the caller's key
+// buffer, avoiding per-probe allocations. Each caller owns its buffer, so
+// nested cell references (qualifier expressions containing lookups) cannot
+// clobber it.
+func (fe *frameEval) evalCellKey(ctx *eval.Context, quals []sqlast.DimQual, buf []byte) ([]byte, error) {
+	for i := range quals {
+		if quals[i].Kind != sqlast.QualPoint {
+			return nil, fmt.Errorf("cell reference qualifier %d is not single-valued", i+1)
+		}
+		v, err := eval.Eval(ctx, quals[i].Val)
+		if err != nil {
+			return nil, err
+		}
+		buf = types.AppendKey(buf, v)
+	}
+	return buf, nil
+}
+
+// evalCellRef resolves a point cell reference: a main-sheet probe or a
+// reference-sheet lookup.
+func (fe *frameEval) evalCellRef(ctx *eval.Context, c *sqlast.CellRef) (types.Value, error) {
+	if c.Sheet == "" {
+		if mea := fe.m.MeasureOrdinal(c.Measure); mea >= 0 {
+			var arr [48]byte
+			key, err := fe.evalCellKey(ctx, c.Quals, arr[:0])
+			if err != nil {
+				return types.Null, err
+			}
+			pos, ok := fe.f.lookupKey(key)
+			if !ok {
+				return types.Null, nil
+			}
+			if fe.trackRefs {
+				fe.f.MarkReferenced(fe.gen, pos, mea)
+			}
+			return fe.f.Row(pos)[mea], nil
+		}
+	}
+	// Reference-sheet lookup.
+	rb, ok := fe.m.refMeas[c.Measure]
+	if !ok || (c.Sheet != "" && rb.sheet.Name != c.Sheet) {
+		if c.Sheet != "" {
+			if ref := fe.m.findRef(c.Sheet); ref != nil {
+				for i, mn := range ref.Meas {
+					if mn == c.Measure {
+						rb = refMeaBinding{sheet: ref, mea: len(ref.Dims) + i}
+						ok = true
+						break
+					}
+				}
+			}
+		}
+		if !ok {
+			return types.Null, fmt.Errorf("unknown measure %q", c.Measure)
+		}
+	}
+	var arr [48]byte
+	key, err := fe.evalCellKey(ctx, c.Quals, arr[:0])
+	if err != nil {
+		return types.Null, err
+	}
+	row, found := rb.sheet.Data[string(key)]
+	if !found {
+		return types.Null, nil
+	}
+	return row[rb.mea], nil
+}

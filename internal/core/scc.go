@@ -1,0 +1,79 @@
+package core
+
+// tarjanSCC computes strongly connected components of the rule graph using
+// Tarjan's algorithm [17]. deps[i] lists the nodes i depends on (edges
+// j -> i reversed; direction does not matter for component membership).
+// Components are returned in reverse topological order of the condensation
+// with respect to the dep direction; callers only use membership.
+func tarjanSCC(n int, deps [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to keep deep chains off the Go stack.
+	type frame struct {
+		v, ei int
+	}
+	var call []frame
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: start})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(deps[v]) {
+				w := deps[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// v is finished.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

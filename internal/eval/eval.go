@@ -1,0 +1,602 @@
+// Package eval is the tree-walking expression evaluator. It is shared by the
+// relational executor and the spreadsheet engine: spreadsheet-only constructs
+// (cell references, cv(), previous(), IS PRESENT) and subqueries are resolved
+// through hooks on the Context, so the evaluator itself stays independent of
+// both layers.
+package eval
+
+import (
+	"fmt"
+
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// Context carries everything an expression needs at evaluation time.
+type Context struct {
+	// Binding resolves column references; may be nil for constant folding.
+	Binding *Binding
+	// Nav selects NULL arithmetic semantics (the IGNORE NAV option).
+	Nav types.NavMode
+
+	// Spreadsheet hooks; nil outside formula evaluation.
+	Cell     func(*sqlast.CellRef) (types.Value, error)
+	CellAgg  func(*sqlast.CellAgg) (types.Value, error)
+	CurrentV func(dim string) (types.Value, error)
+	Previous func(*sqlast.CellRef) (types.Value, error)
+	Present  func(*sqlast.CellRef) (bool, error)
+
+	// Subquery executes nested queries; nil makes subqueries an error.
+	Subquery SubqueryRunner
+}
+
+// SubqueryRunner executes subqueries with access to the outer binding for
+// correlation.
+type SubqueryRunner interface {
+	// Scalar returns the single value of a one-column, at-most-one-row query.
+	Scalar(sub *sqlast.SelectStmt, outer *Binding) (types.Value, error)
+	// Column returns the first column of every result row.
+	Column(sub *sqlast.SelectStmt, outer *Binding) ([]types.Value, error)
+	// Exists reports whether the query returns at least one row.
+	Exists(sub *sqlast.SelectStmt, outer *Binding) (bool, error)
+	// In evaluates "v IN (subquery)" under three-valued logic. Implementors
+	// choose the access path (hash set vs. rescans) — the choice the
+	// paper's Fig. 2 shows the optimizer getting wrong for ref-subquery
+	// pushing.
+	In(sub *sqlast.SelectStmt, outer *Binding, v types.Value) (types.Value, error)
+}
+
+// BoundCol names one column visible to expressions, with its table alias.
+type BoundCol struct {
+	Table string
+	Name  string
+}
+
+// BoundSchema indexes visible columns for resolution.
+type BoundSchema struct {
+	Cols   []BoundCol
+	byName map[string][]int
+	byQual map[string]int
+}
+
+// NewBoundSchema builds the resolution index.
+func NewBoundSchema(cols []BoundCol) *BoundSchema {
+	bs := &BoundSchema{
+		Cols:   cols,
+		byName: make(map[string][]int),
+		byQual: make(map[string]int),
+	}
+	for i, c := range cols {
+		bs.byName[c.Name] = append(bs.byName[c.Name], i)
+		if c.Table != "" {
+			q := c.Table + "." + c.Name
+			if _, dup := bs.byQual[q]; !dup {
+				bs.byQual[q] = i
+			}
+		}
+	}
+	return bs
+}
+
+// FromSchema adapts a plain schema (no table qualifiers).
+func FromSchema(s *types.Schema) *BoundSchema {
+	cols := make([]BoundCol, s.Len())
+	for i, c := range s.Cols {
+		cols[i] = BoundCol{Name: c.Name}
+	}
+	return NewBoundSchema(cols)
+}
+
+// Qualify returns a copy of bs with every column's table alias replaced.
+func (bs *BoundSchema) Qualify(alias string) *BoundSchema {
+	cols := make([]BoundCol, len(bs.Cols))
+	for i, c := range bs.Cols {
+		cols[i] = BoundCol{Table: alias, Name: c.Name}
+	}
+	return NewBoundSchema(cols)
+}
+
+// Resolve maps a (table, name) reference to a column ordinal.
+// found=false means the name is unknown here (the caller may then try an
+// outer binding); err is non-nil for genuinely ambiguous references.
+func (bs *BoundSchema) Resolve(table, name string) (idx int, found bool, err error) {
+	if table != "" {
+		i, ok := bs.byQual[table+"."+name]
+		if !ok {
+			return -1, false, nil
+		}
+		return i, true, nil
+	}
+	ids := bs.byName[name]
+	switch len(ids) {
+	case 0:
+		return -1, false, nil
+	case 1:
+		return ids[0], true, nil
+	}
+	// Identically-qualified duplicates (e.g. natural self-join of the same
+	// column name) are ambiguous.
+	return -1, false, fmt.Errorf("ambiguous column reference %q", name)
+}
+
+// Binding is a row bound to a schema, with an optional outer binding for
+// correlated subqueries.
+type Binding struct {
+	BS     *BoundSchema
+	Row    types.Row
+	Parent *Binding
+}
+
+// Lookup resolves a column reference through the binding chain.
+func (b *Binding) Lookup(table, name string) (types.Value, error) {
+	for cur := b; cur != nil; cur = cur.Parent {
+		idx, ok, err := cur.BS.Resolve(table, name)
+		if err != nil {
+			return types.Null, err
+		}
+		if ok {
+			return cur.Row[idx], nil
+		}
+	}
+	if table != "" {
+		return types.Null, fmt.Errorf("unknown column %q.%q", table, name)
+	}
+	return types.Null, fmt.Errorf("unknown column %q", name)
+}
+
+// Eval computes the value of e under ctx.
+func Eval(ctx *Context, e sqlast.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		return x.Val, nil
+	case *sqlast.ColumnRef:
+		if ctx.Binding == nil {
+			return types.Null, fmt.Errorf("column %s referenced with no row bound", x)
+		}
+		return ctx.Binding.Lookup(x.Table, x.Name)
+	case *sqlast.Unary:
+		return evalUnary(ctx, x)
+	case *sqlast.Binary:
+		return evalBinary(ctx, x)
+	case *sqlast.Between:
+		return evalBetween(ctx, x)
+	case *sqlast.InList:
+		return evalInList(ctx, x)
+	case *sqlast.InSubquery:
+		return evalInSubquery(ctx, x)
+	case *sqlast.Exists:
+		if ctx.Subquery == nil {
+			return types.Null, fmt.Errorf("subqueries not available in this context")
+		}
+		ok, err := ctx.Subquery.Exists(x.Sub, ctx.Binding)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(ok != x.Not), nil
+	case *sqlast.ScalarSubquery:
+		if ctx.Subquery == nil {
+			return types.Null, fmt.Errorf("subqueries not available in this context")
+		}
+		return ctx.Subquery.Scalar(x.Sub, ctx.Binding)
+	case *sqlast.IsNull:
+		v, err := Eval(ctx, x.X)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(v.IsNull() != x.Not), nil
+	case *sqlast.Like:
+		return evalLike(ctx, x)
+	case *sqlast.Case:
+		return evalCase(ctx, x)
+	case *sqlast.FuncCall:
+		return evalFunc(ctx, x)
+	case *sqlast.CurrentV:
+		if ctx.CurrentV == nil {
+			return types.Null, fmt.Errorf("cv(%s) outside a formula right side", x.Dim)
+		}
+		return ctx.CurrentV(x.Dim)
+	case *sqlast.CellRef:
+		if ctx.Cell == nil {
+			return types.Null, fmt.Errorf("cell reference %s outside a spreadsheet clause", x)
+		}
+		return ctx.Cell(x)
+	case *sqlast.CellAgg:
+		if ctx.CellAgg == nil {
+			return types.Null, fmt.Errorf("cell aggregate %s outside a spreadsheet clause", x)
+		}
+		return ctx.CellAgg(x)
+	case *sqlast.Previous:
+		if ctx.Previous == nil {
+			return types.Null, fmt.Errorf("previous() is only valid in UNTIL conditions")
+		}
+		return ctx.Previous(x.Cell)
+	case *sqlast.Present:
+		if ctx.Present == nil {
+			return types.Null, fmt.Errorf("IS PRESENT outside a spreadsheet clause")
+		}
+		ok, err := ctx.Present(x.Cell)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(ok != x.Not), nil
+	case *sqlast.Star:
+		return types.Null, fmt.Errorf("'*' is not a value expression")
+	}
+	return types.Null, fmt.Errorf("cannot evaluate %T", e)
+}
+
+// EvalBool evaluates a predicate under SQL three-valued logic; NULL is false.
+func EvalBool(ctx *Context, e sqlast.Expr) (bool, error) {
+	v, err := Eval(ctx, e)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+func evalUnary(ctx *Context, x *sqlast.Unary) (types.Value, error) {
+	v, err := Eval(ctx, x.X)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	case "-":
+		return types.Neg(v, ctx.Nav)
+	case "NOT":
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(!v.Bool()), nil
+	}
+	return types.Null, fmt.Errorf("unknown unary operator %q", x.Op)
+}
+
+func evalBinary(ctx *Context, x *sqlast.Binary) (types.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := Eval(ctx, x.L)
+		if err != nil {
+			return types.Null, err
+		}
+		if !l.IsNull() && !l.Bool() {
+			return types.NewBool(false), nil
+		}
+		r, err := Eval(ctx, x.R)
+		if err != nil {
+			return types.Null, err
+		}
+		if !r.IsNull() && !r.Bool() {
+			return types.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(true), nil
+	case "OR":
+		l, err := Eval(ctx, x.L)
+		if err != nil {
+			return types.Null, err
+		}
+		if !l.IsNull() && l.Bool() {
+			return types.NewBool(true), nil
+		}
+		r, err := Eval(ctx, x.R)
+		if err != nil {
+			return types.Null, err
+		}
+		if !r.IsNull() && r.Bool() {
+			return types.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(false), nil
+	}
+	l, err := Eval(ctx, x.L)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := Eval(ctx, x.R)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		return types.Arith(x.Op[0], l, r, ctx.Nav)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewString(l.String() + r.String()), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return CompareSQL(x.Op, l, r), nil
+	}
+	return types.Null, fmt.Errorf("unknown operator %q", x.Op)
+}
+
+// CompareSQL applies a comparison operator under three-valued logic.
+func CompareSQL(op string, l, r types.Value) types.Value {
+	if l.IsNull() || r.IsNull() {
+		return types.Null
+	}
+	if op == "=" || op == "<>" {
+		eq := types.Equal(l, r)
+		return types.NewBool(eq == (op == "="))
+	}
+	// Ordered comparison across incompatible kinds is false rather than an
+	// error (dimension predicates routinely mix domains during pushdown).
+	if l.IsNumeric() != r.IsNumeric() {
+		return types.NewBool(false)
+	}
+	c := types.Compare(l, r)
+	switch op {
+	case "<":
+		return types.NewBool(c < 0)
+	case "<=":
+		return types.NewBool(c <= 0)
+	case ">":
+		return types.NewBool(c > 0)
+	case ">=":
+		return types.NewBool(c >= 0)
+	}
+	return types.Null
+}
+
+func evalBetween(ctx *Context, x *sqlast.Between) (types.Value, error) {
+	v, err := Eval(ctx, x.X)
+	if err != nil {
+		return types.Null, err
+	}
+	lo, err := Eval(ctx, x.Lo)
+	if err != nil {
+		return types.Null, err
+	}
+	hi, err := Eval(ctx, x.Hi)
+	if err != nil {
+		return types.Null, err
+	}
+	ge := CompareSQL(">=", v, lo)
+	le := CompareSQL("<=", v, hi)
+	res := and3(ge, le)
+	if x.Not {
+		return not3(res), nil
+	}
+	return res, nil
+}
+
+func and3(a, b types.Value) types.Value {
+	if (!a.IsNull() && !a.Bool()) || (!b.IsNull() && !b.Bool()) {
+		return types.NewBool(false)
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(true)
+}
+
+func not3(v types.Value) types.Value {
+	if v.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(!v.Bool())
+}
+
+// inListSet is the hashed membership cache for large literal IN-lists.
+type inListSet struct {
+	set     map[string]bool
+	sawNull bool
+}
+
+// inListSetThreshold is the list size past which an all-literal IN-list is
+// hashed instead of scanned (pushed predicates from the spreadsheet
+// optimizer routinely carry dozens of values).
+const inListSetThreshold = 9
+
+func evalInList(ctx *Context, x *sqlast.InList) (types.Value, error) {
+	v, err := Eval(ctx, x.X)
+	if err != nil {
+		return types.Null, err
+	}
+	if len(x.List) >= inListSetThreshold {
+		cached := x.Cache(func() any {
+			s := &inListSet{set: make(map[string]bool, len(x.List))}
+			for _, it := range x.List {
+				lit, ok := it.(*sqlast.Literal)
+				if !ok {
+					return (*inListSet)(nil) // non-literal member: no cache
+				}
+				if lit.Val.IsNull() {
+					s.sawNull = true
+					continue
+				}
+				s.set[types.Key(lit.Val)] = true
+			}
+			return s
+		})
+		if s, _ := cached.(*inListSet); s != nil {
+			var res types.Value
+			switch {
+			case v.IsNull():
+				res = types.Null
+			case s.set[types.Key(v)]:
+				res = types.NewBool(true)
+			case s.sawNull:
+				res = types.Null
+			default:
+				res = types.NewBool(false)
+			}
+			if x.Not {
+				return not3(res), nil
+			}
+			return res, nil
+		}
+	}
+	res, err := inValues(ctx, v, func(yield func(types.Value) error) error {
+		for _, it := range x.List {
+			iv, err := Eval(ctx, it)
+			if err != nil {
+				return err
+			}
+			if err := yield(iv); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return types.Null, err
+	}
+	if x.Not {
+		return not3(res), nil
+	}
+	return res, nil
+}
+
+func evalInSubquery(ctx *Context, x *sqlast.InSubquery) (types.Value, error) {
+	if ctx.Subquery == nil {
+		return types.Null, fmt.Errorf("subqueries not available in this context")
+	}
+	v, err := Eval(ctx, x.X)
+	if err != nil {
+		return types.Null, err
+	}
+	res, err := ctx.Subquery.In(x.Sub, ctx.Binding, v)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.Not {
+		return not3(res), nil
+	}
+	return res, nil
+}
+
+// InMembership implements the standard three-valued IN semantics over a
+// materialized value list; runner implementations use it for the
+// nested-loop (rescan) strategy.
+func InMembership(v types.Value, vals []types.Value) types.Value {
+	if v.IsNull() {
+		return types.Null
+	}
+	sawNull := false
+	for _, iv := range vals {
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Equal(v, iv) {
+			return types.NewBool(true)
+		}
+	}
+	if sawNull {
+		return types.Null
+	}
+	return types.NewBool(false)
+}
+
+// errFoundMatch short-circuits the membership scan.
+var errFoundMatch = fmt.Errorf("match")
+
+// inValues implements SQL IN semantics: TRUE on a match, NULL if no match
+// but some member (or the probe) is NULL, else FALSE.
+func inValues(_ *Context, v types.Value, each func(func(types.Value) error) error) (types.Value, error) {
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	sawNull := false
+	err := each(func(iv types.Value) error {
+		if iv.IsNull() {
+			sawNull = true
+			return nil
+		}
+		if types.Equal(v, iv) {
+			return errFoundMatch
+		}
+		return nil
+	})
+	if err == errFoundMatch {
+		return types.NewBool(true), nil
+	}
+	if err != nil {
+		return types.Null, err
+	}
+	if sawNull {
+		return types.Null, nil
+	}
+	return types.NewBool(false), nil
+}
+
+func evalLike(ctx *Context, x *sqlast.Like) (types.Value, error) {
+	v, err := Eval(ctx, x.X)
+	if err != nil {
+		return types.Null, err
+	}
+	p, err := Eval(ctx, x.Pattern)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return types.Null, nil
+	}
+	m := likeMatch(v.String(), p.String())
+	return types.NewBool(m != x.Not), nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer match with backtracking on '%'.
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+func evalCase(ctx *Context, x *sqlast.Case) (types.Value, error) {
+	if x.Operand != nil {
+		op, err := Eval(ctx, x.Operand)
+		if err != nil {
+			return types.Null, err
+		}
+		for _, w := range x.Whens {
+			wv, err := Eval(ctx, w.Cond)
+			if err != nil {
+				return types.Null, err
+			}
+			if !op.IsNull() && !wv.IsNull() && types.Equal(op, wv) {
+				return Eval(ctx, w.Then)
+			}
+		}
+	} else {
+		for _, w := range x.Whens {
+			ok, err := EvalBool(ctx, w.Cond)
+			if err != nil {
+				return types.Null, err
+			}
+			if ok {
+				return Eval(ctx, w.Then)
+			}
+		}
+	}
+	if x.Else != nil {
+		return Eval(ctx, x.Else)
+	}
+	return types.Null, nil
+}

@@ -1,0 +1,312 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sqlsheet/internal/parser"
+	"sqlsheet/internal/types"
+)
+
+// evalStr parses and evaluates an expression over an optional binding.
+func evalStr(t *testing.T, expr string, b *Binding) (types.Value, error) {
+	t.Helper()
+	e, err := parser.ParseExpr(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return Eval(&Context{Binding: b}, e)
+}
+
+func mustEval(t *testing.T, expr string, b *Binding) types.Value {
+	t.Helper()
+	v, err := evalStr(t, expr, b)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return v
+}
+
+func bind(cols string, vals ...any) *Binding {
+	names := strings.Split(cols, ",")
+	bcols := make([]BoundCol, len(names))
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if dot := strings.IndexByte(n, '.'); dot >= 0 {
+			bcols[i] = BoundCol{Table: n[:dot], Name: n[dot+1:]}
+		} else {
+			bcols[i] = BoundCol{Name: n}
+		}
+	}
+	row := make(types.Row, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			row[i] = types.NewInt(int64(x))
+		case float64:
+			row[i] = types.NewFloat(x)
+		case string:
+			row[i] = types.NewString(x)
+		case bool:
+			row[i] = types.NewBool(x)
+		case nil:
+			row[i] = types.Null
+		}
+	}
+	return &Binding{BS: NewBoundSchema(bcols), Row: row}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	if v := mustEval(t, "1 + 2 * 3", nil); v.Int() != 7 {
+		t.Errorf("got %v", v)
+	}
+	if v := mustEval(t, "(1 + 2) * 3", nil); v.Int() != 9 {
+		t.Errorf("got %v", v)
+	}
+	if v := mustEval(t, "7 / 2", nil); v.F != 3.5 {
+		t.Errorf("int division must be exact: %v", v)
+	}
+	if v := mustEval(t, "-(2+3)", nil); v.Int() != -5 {
+		t.Errorf("got %v", v)
+	}
+	if v := mustEval(t, "10 % 3", nil); v.Int() != 1 {
+		t.Errorf("got %v", v)
+	}
+	if _, err := evalStr(t, "1/0", nil); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestColumnResolution(t *testing.T) {
+	b := bind("a.x, b.x, y", 1, 2, 3)
+	if v := mustEval(t, "a.x + b.x", b); v.Int() != 3 {
+		t.Errorf("qualified: %v", v)
+	}
+	if v := mustEval(t, "y", b); v.Int() != 3 {
+		t.Errorf("unqualified: %v", v)
+	}
+	if _, err := evalStr(t, "x", b); err == nil {
+		t.Error("ambiguous unqualified ref must error")
+	}
+	if _, err := evalStr(t, "zz", b); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := evalStr(t, "c.x", b); err == nil {
+		t.Error("unknown qualifier must error")
+	}
+}
+
+func TestOuterBindingChain(t *testing.T) {
+	outer := bind("o", 42)
+	inner := bind("i", 7)
+	inner.Parent = outer
+	if v := mustEval(t, "i + o", inner); v.Int() != 49 {
+		t.Errorf("correlated chain: %v", v)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	b := bind("n, x", nil, 1)
+	cases := []struct {
+		expr string
+		want string // "t", "f", "null"
+	}{
+		{"n = 1", "null"},
+		{"n <> 1", "null"},
+		{"n = 1 AND x = 1", "null"},
+		{"n = 1 AND x = 2", "f"},
+		{"n = 1 OR x = 1", "t"},
+		{"n = 1 OR x = 2", "null"},
+		{"NOT (n = 1)", "null"},
+		{"n IS NULL", "t"},
+		{"x IS NOT NULL", "t"},
+		{"x BETWEEN 0 AND 2", "t"},
+		{"n BETWEEN 0 AND 2", "null"},
+		{"x NOT BETWEEN 0 AND 2", "f"},
+		{"x IN (1, 2)", "t"},
+		{"x IN (2, 3)", "f"},
+		{"x IN (2, n)", "null"},
+		{"n IN (1)", "null"},
+		{"x NOT IN (2, n)", "null"},
+		{"x NOT IN (2, 3)", "t"},
+	}
+	for _, c := range cases {
+		v := mustEval(t, c.expr, b)
+		got := "null"
+		if !v.IsNull() {
+			got = map[bool]string{true: "t", false: "f"}[v.Bool()]
+		}
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAcrossKinds(t *testing.T) {
+	if v := mustEval(t, "2 = 2.0", nil); !v.Bool() {
+		t.Error("2 = 2.0 must be true")
+	}
+	if v := mustEval(t, "'a' = 1", nil); v.Bool() {
+		t.Error("'a' = 1 must be false")
+	}
+	if v := mustEval(t, "'a' < 1", nil); v.Bool() {
+		t.Error("'a' < 1 must be false, not an error")
+	}
+	if v := mustEval(t, "'abc' < 'abd'", nil); !v.Bool() {
+		t.Error("string compare broken")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%l%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%c", true},
+		{"mississippi", "%iss%pi", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+	b := bind("s", "widget")
+	if v := mustEval(t, "s LIKE 'wid%'", b); !v.Bool() {
+		t.Error("LIKE broken")
+	}
+	if v := mustEval(t, "s NOT LIKE 'x%'", b); !v.Bool() {
+		t.Error("NOT LIKE broken")
+	}
+}
+
+func TestCase(t *testing.T) {
+	b := bind("x", 2)
+	v := mustEval(t, "CASE WHEN x = 1 THEN 'one' WHEN x = 2 THEN 'two' ELSE 'many' END", b)
+	if v.S != "two" {
+		t.Errorf("searched case: %v", v)
+	}
+	v = mustEval(t, "CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", b)
+	if v.S != "two" {
+		t.Errorf("simple case: %v", v)
+	}
+	v = mustEval(t, "CASE x WHEN 9 THEN 'nine' END", b)
+	if !v.IsNull() {
+		t.Errorf("no-match case must be NULL: %v", v)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want any
+	}{
+		{"abs(-3)", 3},
+		{"abs(-2.5)", 2.5},
+		{"floor(2.7)", 2.0},
+		{"ceil(2.2)", 3.0},
+		{"round(2.567, 2)", 2.57},
+		{"trunc(2.567, 2)", 2.56},
+		{"power(2, 10)", 1024.0},
+		{"mod(10, 3)", 1},
+		{"sqrt(16)", 4.0},
+		{"sign(-9)", -1},
+		{"upper('dvd')", "DVD"},
+		{"lower('DVD')", "dvd"},
+		{"length('hello')", 5},
+		{"substr('spreadsheet', 1, 6)", "spread"},
+		{"substr('spreadsheet', 7)", "sheet"},
+		{"concat('a', 'b', 'c')", "abc"},
+		{"coalesce(NULL, NULL, 7)", 7},
+		{"nvl(NULL, 'd')", "d"},
+		{"nullif(3, 3)", nil},
+		{"least(3, 1, 2)", 1},
+		{"greatest(3, 1, 2)", 3},
+	}
+	for _, c := range cases {
+		v := mustEval(t, c.expr, nil)
+		switch w := c.want.(type) {
+		case int:
+			if v.Int() != int64(w) {
+				t.Errorf("%s = %v, want %d", c.expr, v, w)
+			}
+		case float64:
+			if v.Float() != w {
+				t.Errorf("%s = %v, want %g", c.expr, v, w)
+			}
+		case string:
+			if v.S != w {
+				t.Errorf("%s = %v, want %q", c.expr, v, w)
+			}
+		case nil:
+			if !v.IsNull() {
+				t.Errorf("%s = %v, want NULL", c.expr, v)
+			}
+		}
+	}
+	if _, err := evalStr(t, "frobnicate(1)", nil); err == nil {
+		t.Error("unknown function must error")
+	}
+	if _, err := evalStr(t, "sum(1)", nil); err == nil {
+		t.Error("bare aggregate must error in scalar context")
+	}
+	if _, err := evalStr(t, "abs(1, 2)", nil); err == nil {
+		t.Error("wrong arity must error")
+	}
+}
+
+func TestConcatOperator(t *testing.T) {
+	if v := mustEval(t, "'a' || 'b' || 1", nil); v.S != "ab1" {
+		t.Errorf("|| = %v", v)
+	}
+	if v := mustEval(t, "'a' || NULL", nil); !v.IsNull() {
+		t.Errorf("|| NULL = %v", v)
+	}
+}
+
+func TestIgnoreNavArithmetic(t *testing.T) {
+	e, err := parser.ParseExpr("n + 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bind("n", nil)
+	v, err := Eval(&Context{Binding: b, Nav: types.IgnoreNav}, e)
+	if err != nil || v.Int() != 5 {
+		t.Errorf("IGNORE NAV: %v, %v", v, err)
+	}
+	v, err = Eval(&Context{Binding: b, Nav: types.KeepNav}, e)
+	if err != nil || !v.IsNull() {
+		t.Errorf("KEEP NAV: %v, %v", v, err)
+	}
+}
+
+func TestSpreadsheetHooksRequired(t *testing.T) {
+	for _, s := range []string{"s[2000]", "avg(s)[t<5]", "cv(t)", "s[1] IS PRESENT"} {
+		e, err := parser.ParseModelExpr(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if _, err := Eval(&Context{}, e); err == nil {
+			t.Errorf("%q must error without spreadsheet hooks", s)
+		}
+	}
+}
+
+func TestSubqueriesRequireRunner(t *testing.T) {
+	for _, s := range []string{"(SELECT 1)", "1 IN (SELECT 1)", "EXISTS (SELECT 1)"} {
+		e, err := parser.ParseExpr(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if _, err := Eval(&Context{}, e); err == nil {
+			t.Errorf("%q must error without a subquery runner", s)
+		}
+	}
+}

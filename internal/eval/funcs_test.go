@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+func call(t *testing.T, name string, args ...types.Value) (types.Value, error) {
+	t.Helper()
+	return CallScalar(name, args)
+}
+
+func TestScalarFunctionNullPropagation(t *testing.T) {
+	for _, name := range []string{"abs", "sqrt", "exp", "ln", "floor", "ceil", "sign", "upper", "lower", "length"} {
+		v, err := call(t, name, types.Null)
+		if err != nil || !v.IsNull() {
+			t.Errorf("%s(NULL) = %v, %v", name, v, err)
+		}
+	}
+	for _, name := range []string{"power", "mod"} {
+		v, err := call(t, name, types.Null, types.NewInt(2))
+		if err != nil || !v.IsNull() {
+			t.Errorf("%s(NULL, 2) = %v, %v", name, v, err)
+		}
+	}
+	if v, err := call(t, "round", types.Null); err != nil || !v.IsNull() {
+		t.Errorf("round(NULL) = %v, %v", v, err)
+	}
+	if v, err := call(t, "substr", types.Null, types.NewInt(1)); err != nil || !v.IsNull() {
+		t.Errorf("substr(NULL,1) = %v, %v", v, err)
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []types.Value
+	}{
+		{"sqrt", []types.Value{types.NewFloat(-1)}},                                 // NaN result
+		{"ln", []types.Value{types.NewFloat(0)}},                                    // -Inf result
+		{"sqrt", []types.Value{types.NewString("x")}},                               // non-numeric
+		{"round", []types.Value{types.NewInt(1), types.NewInt(1), types.NewInt(1)}}, // arity
+		{"least", nil}, // arity
+		{"nullif", []types.Value{types.NewInt(1)}},               // arity
+		{"mod", []types.Value{types.NewInt(1), types.NewInt(0)}}, // div by zero
+		{"nosuchfunc", []types.Value{types.NewInt(1)}},
+	}
+	for _, c := range cases {
+		if _, err := CallScalar(c.name, c.args); err == nil {
+			t.Errorf("%s(%v) must error", c.name, c.args)
+		}
+	}
+}
+
+func TestSubstrEdges(t *testing.T) {
+	check := func(args []types.Value, want string) {
+		t.Helper()
+		v, err := CallScalar("substr", args)
+		if err != nil || v.S != want {
+			t.Errorf("substr(%v) = %q, %v; want %q", args, v.S, err, want)
+		}
+	}
+	s := types.NewString("hello")
+	check([]types.Value{s, types.NewInt(0)}, "hello") // clamp start
+	check([]types.Value{s, types.NewInt(99)}, "")     // past end
+	check([]types.Value{s, types.NewInt(2), types.NewInt(99)}, "ello")
+	check([]types.Value{s, types.NewInt(2), types.NewInt(0)}, "")
+}
+
+func TestLeastGreatestNulls(t *testing.T) {
+	v, err := CallScalar("least", []types.Value{types.NewInt(1), types.Null})
+	if err != nil || !v.IsNull() {
+		t.Errorf("least with NULL = %v, %v", v, err)
+	}
+	v, err = CallScalar("greatest", []types.Value{types.NewString("a"), types.NewString("b")})
+	if err != nil || v.S != "b" {
+		t.Errorf("greatest strings = %v, %v", v, err)
+	}
+}
+
+func TestInMembership(t *testing.T) {
+	one, two := types.NewInt(1), types.NewInt(2)
+	if v := InMembership(one, []types.Value{one, two}); !v.Bool() {
+		t.Error("match")
+	}
+	if v := InMembership(one, []types.Value{two}); v.Bool() || v.IsNull() {
+		t.Error("no match")
+	}
+	if v := InMembership(one, []types.Value{two, types.Null}); !v.IsNull() {
+		t.Error("null member")
+	}
+	if v := InMembership(types.Null, []types.Value{one}); !v.IsNull() {
+		t.Error("null probe")
+	}
+}
+
+func TestCompareSQLBranches(t *testing.T) {
+	if v := CompareSQL("<", types.Null, types.NewInt(1)); !v.IsNull() {
+		t.Error("null compare")
+	}
+	if v := CompareSQL(">", types.NewInt(2), types.NewInt(1)); !v.Bool() {
+		t.Error(">")
+	}
+	if v := CompareSQL(">=", types.NewInt(2), types.NewInt(2)); !v.Bool() {
+		t.Error(">=")
+	}
+	if v := CompareSQL("<=", types.NewInt(2), types.NewInt(3)); !v.Bool() {
+		t.Error("<=")
+	}
+	if v := CompareSQL("<>", types.NewString("a"), types.NewString("b")); !v.Bool() {
+		t.Error("<>")
+	}
+	// Ordered comparison across kinds is false, not an error.
+	if v := CompareSQL("<", types.NewString("a"), types.NewInt(1)); v.Bool() || v.IsNull() {
+		t.Error("cross-kind ordered compare must be false")
+	}
+}
+
+func TestResolveAmbiguity(t *testing.T) {
+	bs := NewBoundSchema([]BoundCol{{Table: "a", Name: "x"}, {Table: "b", Name: "x"}})
+	if _, _, err := bs.Resolve("", "x"); err == nil {
+		t.Error("ambiguous resolve must error")
+	}
+	idx, ok, err := bs.Resolve("b", "x")
+	if err != nil || !ok || idx != 1 {
+		t.Errorf("qualified resolve: %d %v %v", idx, ok, err)
+	}
+	if _, ok, _ := bs.Resolve("c", "x"); ok {
+		t.Error("unknown qualifier must not resolve")
+	}
+	// Qualify rewrites table names.
+	q := bs.Qualify("v")
+	if _, ok, _ := q.Resolve("v", "x"); !ok {
+		// Both columns collapse to v.x; first wins for the qualified map.
+		t.Error("qualify broken")
+	}
+}

@@ -1,0 +1,349 @@
+// Package exec is the physical executor: it runs logical plans from
+// internal/plan over catalog tables, provides the subquery runner the
+// evaluator and spreadsheet engine use, and drives spreadsheet execution
+// (reference-sheet materialization, store selection, parallelism).
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// Options configures execution.
+type Options struct {
+	// Parallel is the spreadsheet degree of parallelism (PE count).
+	Parallel int
+	// Buckets overrides the number of first-level hash partitions.
+	Buckets int
+	// MemoryBudget bounds each first-level partition's resident bytes;
+	// 0 = unbounded (in-memory stores, no spilling).
+	MemoryBudget int64
+	// SpillDir is where budgeted stores spill (default: os.TempDir()).
+	SpillDir string
+	// DisableSingleScan / DisableRangeProbe toggle spreadsheet execution
+	// optimizations (ablation knobs).
+	DisableSingleScan bool
+	DisableRangeProbe bool
+	// UseBTreeIndex swaps the cell hash tables for B-trees (access-path
+	// ablation, paper §7).
+	UseBTreeIndex bool
+	// PlanOpts is used when the executor plans subqueries itself.
+	PlanOpts *plan.Options
+}
+
+// Result is a materialized relation.
+type Result struct {
+	Schema *eval.BoundSchema
+	Rows   []types.Row
+}
+
+// Executor runs plans. Create one per top-level statement: subquery and CTE
+// caches live for the executor's lifetime.
+type Executor struct {
+	Cat  *catalog.Catalog
+	Opts Options
+
+	mu        sync.Mutex
+	cteCache  map[*plan.CTEDef]*Result
+	subPlans  map[*sqlast.SelectStmt]plan.Node
+	subCache  map[*sqlast.SelectStmt]*Result
+	subCorrel map[*sqlast.SelectStmt]bool
+	subSets   map[*sqlast.SelectStmt]*valSet
+
+	// SheetStats accumulates access-structure I/O from spreadsheet nodes.
+	SheetStats blockstore.Stats
+}
+
+// New creates an executor over a catalog.
+func New(cat *catalog.Catalog, opts Options) *Executor {
+	return &Executor{
+		Cat:       cat,
+		Opts:      opts,
+		cteCache:  map[*plan.CTEDef]*Result{},
+		subPlans:  map[*sqlast.SelectStmt]plan.Node{},
+		subCache:  map[*sqlast.SelectStmt]*Result{},
+		subCorrel: map[*sqlast.SelectStmt]bool{},
+		subSets:   map[*sqlast.SelectStmt]*valSet{},
+	}
+}
+
+// Execute runs a plan node. outer supplies correlation bindings for
+// subquery plans; nil at the top level.
+func (ex *Executor) Execute(n plan.Node, outer *eval.Binding) (*Result, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return ex.execScan(x, outer)
+	case *plan.CTERef:
+		return ex.execCTERef(x, outer)
+	case *plan.Filter:
+		return ex.execFilter(x, outer)
+	case *plan.Project:
+		return ex.execProject(x, outer)
+	case *plan.Join:
+		return ex.execJoin(x, outer)
+	case *plan.GroupBy:
+		return ex.execGroupBy(x, outer)
+	case *plan.Union:
+		l, err := ex.Execute(x.L, outer)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.Execute(x.R, outer)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]types.Row, 0, len(l.Rows)+len(r.Rows))
+		rows = append(rows, l.Rows...)
+		rows = append(rows, r.Rows...)
+		return &Result{Schema: n.Schema(), Rows: rows}, nil
+	case *plan.Distinct:
+		in, err := ex.Execute(x.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, len(in.Rows))
+		var rows []types.Row
+		for _, r := range in.Rows {
+			k := types.Key(r...)
+			if !seen[k] {
+				seen[k] = true
+				rows = append(rows, r)
+			}
+		}
+		return &Result{Schema: n.Schema(), Rows: rows}, nil
+	case *plan.Sort:
+		return ex.execSort(x, outer)
+	case *plan.Limit:
+		in, err := ex.Execute(x.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(in.Rows) > x.N {
+			in = &Result{Schema: in.Schema, Rows: in.Rows[:x.N]}
+		}
+		return in, nil
+	case *plan.Alias:
+		in, err := ex.Execute(x.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: n.Schema(), Rows: in.Rows}, nil
+	case *plan.OneRow:
+		return &Result{Schema: n.Schema(), Rows: []types.Row{{}}}, nil
+	case *plan.Window:
+		return ex.execWindow(x, outer)
+	case *plan.Spreadsheet:
+		return ex.execSpreadsheet(x, outer)
+	}
+	return nil, fmt.Errorf("exec: unsupported node %T", n)
+}
+
+// ctx builds an evaluation context bound to a schema/row pair chained to
+// the outer binding.
+func (ex *Executor) ctx(bs *eval.BoundSchema, row types.Row, outer *eval.Binding) *eval.Context {
+	return &eval.Context{
+		Binding:  &eval.Binding{BS: bs, Row: row, Parent: outer},
+		Subquery: &runner{ex: ex},
+	}
+}
+
+func (ex *Executor) execScan(n *plan.Scan, outer *eval.Binding) (*Result, error) {
+	return ex.scanRows(n.Table.Rows, n.Schema(), n.Filter, outer)
+}
+
+func (ex *Executor) execCTERef(n *plan.CTERef, outer *eval.Binding) (*Result, error) {
+	ex.mu.Lock()
+	cached := ex.cteCache[n.Def]
+	ex.mu.Unlock()
+	if cached == nil {
+		res, err := ex.Execute(n.Def.Plan, nil)
+		if err != nil {
+			return nil, err
+		}
+		ex.mu.Lock()
+		ex.cteCache[n.Def] = res
+		cached = res
+		ex.mu.Unlock()
+	}
+	return ex.scanRows(cached.Rows, n.Schema(), n.Filter, outer)
+}
+
+func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter sqlast.Expr, outer *eval.Binding) (*Result, error) {
+	if filter == nil {
+		rows := make([]types.Row, len(src))
+		copy(rows, src)
+		return &Result{Schema: schema, Rows: rows}, nil
+	}
+	ctx := ex.ctx(schema, nil, outer)
+	var rows []types.Row
+	for _, r := range src {
+		ctx.Binding.Row = r
+		ok, err := eval.EvalBool(ctx, filter)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+func (ex *Executor) execFilter(n *plan.Filter, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	return ex.scanRows(in.Rows, in.Schema, n.Cond, outer)
+}
+
+func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	ctx := ex.ctx(in.Schema, nil, outer)
+	rows := make([]types.Row, len(in.Rows))
+	for i, r := range in.Rows {
+		ctx.Binding.Row = r
+		out := make(types.Row, len(n.Exprs))
+		for j, e := range n.Exprs {
+			v, err := eval.Eval(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		rows[i] = out
+	}
+	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}
+
+func (ex *Executor) execSort(n *plan.Sort, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	type keyed struct {
+		row  types.Row
+		keys []types.Value
+	}
+	ctx := ex.ctx(in.Schema, nil, outer)
+	ks := make([]keyed, len(in.Rows))
+	for i, r := range in.Rows {
+		ctx.Binding.Row = r
+		keys := make([]types.Value, len(n.Items))
+		for j, it := range n.Items {
+			v, err := eval.Eval(ctx, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{row: r, keys: keys}
+	}
+	stableSort(ks, func(a, b keyed) int {
+		for j := range a.keys {
+			c := types.Compare(a.keys[j], b.keys[j])
+			if n.Items[j].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	})
+	rows := make([]types.Row, len(ks))
+	for i := range ks {
+		rows[i] = ks[i].row
+	}
+	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}
+
+// stableSort is a bottom-up merge sort (stable, no stdlib sort.Slice churn
+// in the hot path of large ORDER BY results).
+func stableSort[T any](xs []T, cmp func(a, b T) int) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	buf := make([]T, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				if i < mid && (j >= hi || cmp(xs[j], xs[i]) >= 0) {
+					buf[k] = xs[i]
+					i++
+				} else {
+					buf[k] = xs[j]
+					j++
+				}
+			}
+		}
+		copy(xs, buf)
+	}
+}
+
+// FormatTable renders a result as an aligned text table (REPL, examples).
+func (r *Result) FormatTable() string {
+	var b strings.Builder
+	names := make([]string, len(r.Schema.Cols))
+	widths := make([]int, len(names))
+	for i, c := range r.Schema.Cols {
+		names[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if j < len(widths) && len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			for k := len(s); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for j := range names {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"sqlsheet/internal/aggs"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/types"
+)
+
+// execGroupBy hash-aggregates the input. Output rows carry the key values
+// followed by the aggregate results, in the node's schema order. With no
+// grouping keys the result is a single row even over empty input (global
+// aggregation).
+func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	ctx := ex.ctx(in.Schema, nil, outer)
+
+	type group struct {
+		keys types.Row
+		accs []aggs.Agg
+	}
+	newGroup := func(keys types.Row) (*group, error) {
+		g := &group{keys: keys, accs: make([]aggs.Agg, len(n.Aggs))}
+		for i, spec := range n.Aggs {
+			a, err := aggs.New(spec.Call.Name, spec.Call.Star)
+			if err != nil {
+				return nil, err
+			}
+			g.accs[i] = a
+		}
+		return g, nil
+	}
+
+	groups := map[string]*group{}
+	var order []string // deterministic output: first-seen order
+	for _, row := range in.Rows {
+		ctx.Binding.Row = row
+		keys := make(types.Row, len(n.Keys))
+		for i, k := range n.Keys {
+			v, err := eval.Eval(ctx, k)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		gk := types.Key(keys...)
+		g := groups[gk]
+		if g == nil {
+			g, err = newGroup(keys)
+			if err != nil {
+				return nil, err
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i, spec := range n.Aggs {
+			if spec.Call.Star {
+				g.accs[i].Add()
+				continue
+			}
+			vals := make([]types.Value, len(spec.Call.Args))
+			for j, arg := range spec.Call.Args {
+				v, err := eval.Eval(ctx, arg)
+				if err != nil {
+					return nil, err
+				}
+				vals[j] = v
+			}
+			g.accs[i].Add(vals...)
+		}
+	}
+	if len(n.Keys) == 0 && len(groups) == 0 {
+		g, err := newGroup(nil)
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	rows := make([]types.Row, 0, len(order))
+	for _, gk := range order {
+		g := groups[gk]
+		row := make(types.Row, 0, len(n.Keys)+len(n.Aggs))
+		row = append(row, g.keys...)
+		for _, a := range g.accs {
+			row = append(row, a.Result())
+		}
+		rows = append(rows, row)
+	}
+	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}

@@ -1,0 +1,209 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// execJoin dispatches on join type and method. Hash joins build one hash
+// table on the non-preserved (or right) side; nested-loop joins evaluate
+// the full ON condition per pair. The ANSI-join cost model the paper
+// compares against (one hash table per join) lives here.
+func (ex *Executor) execJoin(n *plan.Join, outer *eval.Binding) (*Result, error) {
+	l, err := ex.Execute(n.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.Execute(n.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	method := n.Method
+	if method == plan.JoinAuto {
+		if len(n.LeftKeys) > 0 {
+			method = plan.JoinHash
+		} else {
+			method = plan.JoinNestedLoop
+		}
+	}
+	if method == plan.JoinHash && len(n.LeftKeys) == 0 {
+		method = plan.JoinNestedLoop
+	}
+	switch method {
+	case plan.JoinHash:
+		return ex.hashJoin(n, l, r, outer)
+	case plan.JoinNestedLoop:
+		return ex.nestedLoopJoin(n, l, r, outer)
+	}
+	return nil, fmt.Errorf("exec: unknown join method")
+}
+
+// evalKeys computes a composite join key; ok is false when any key value is
+// NULL (SQL equality never matches NULLs).
+func evalKeys(ctx *eval.Context, row types.Row, keys []sqlast.Expr) (string, bool, error) {
+	ctx.Binding.Row = row
+	buf := make([]byte, 0, 16*len(keys))
+	for _, k := range keys {
+		v, err := eval.Eval(ctx, k)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		buf = types.AppendKey(buf, v)
+	}
+	return string(buf), true, nil
+}
+
+func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*Result, error) {
+	// Build on the right side except for RIGHT OUTER, which builds left and
+	// probes right so the preserved side drives the output.
+	buildRes, probeRes := r, l
+	buildKeys, probeKeys := n.RightKeys, n.LeftKeys
+	probeIsLeft := true
+	if n.Type == sqlast.JoinRight {
+		buildRes, probeRes = l, r
+		buildKeys, probeKeys = n.LeftKeys, n.RightKeys
+		probeIsLeft = false
+	}
+
+	bctx := ex.ctx(buildRes.Schema, nil, outer)
+	table := make(map[string][]int, len(buildRes.Rows))
+	for i, row := range buildRes.Rows {
+		k, ok, err := evalKeys(bctx, row, buildKeys)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			table[k] = append(table[k], i)
+		}
+	}
+
+	lw, rw := len(l.Schema.Cols), len(r.Schema.Cols)
+	combined := n.Schema()
+	cctx := ex.ctx(combined, nil, outer)
+	pctx := ex.ctx(probeRes.Schema, nil, outer)
+	var out []types.Row
+	combine := func(probe, build types.Row) types.Row {
+		row := make(types.Row, 0, lw+rw)
+		if probeIsLeft {
+			row = append(append(row, probe...), build...)
+		} else {
+			row = append(append(row, build...), probe...)
+		}
+		return row
+	}
+	nullSide := func(w int) types.Row { return make(types.Row, w) }
+	preserve := n.Type == sqlast.JoinLeft || n.Type == sqlast.JoinRight
+
+	for _, probe := range probeRes.Rows {
+		k, ok, err := evalKeys(pctx, probe, probeKeys)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if ok {
+			for _, bi := range table[k] {
+				row := combine(probe, buildRes.Rows[bi])
+				if n.Residual != nil {
+					cctx.Binding.Row = row
+					pass, err := eval.EvalBool(cctx, n.Residual)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, row)
+			}
+		}
+		if !matched && preserve {
+			if probeIsLeft {
+				out = append(out, combine(probe, nullSide(rw)))
+			} else {
+				out = append(out, combine(probe, nullSide(lw)))
+			}
+		}
+	}
+	return &Result{Schema: combined, Rows: out}, nil
+}
+
+func (ex *Executor) nestedLoopJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*Result, error) {
+	lw, rw := len(l.Schema.Cols), len(r.Schema.Cols)
+	combined := n.Schema()
+	cctx := ex.ctx(combined, nil, outer)
+
+	// Reassemble the full ON condition from keys + residual.
+	on := n.Residual
+	for i := range n.LeftKeys {
+		on = andAll(on, &sqlast.Binary{Op: "=", L: n.LeftKeys[i], R: n.RightKeys[i]})
+	}
+
+	var out []types.Row
+	switch n.Type {
+	case sqlast.JoinRight:
+		for _, rr := range r.Rows {
+			matched := false
+			for _, lr := range l.Rows {
+				row := append(append(make(types.Row, 0, lw+rw), lr...), rr...)
+				pass := true
+				if on != nil {
+					cctx.Binding.Row = row
+					var err error
+					pass, err = eval.EvalBool(cctx, on)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if pass {
+					matched = true
+					out = append(out, row)
+				}
+			}
+			if !matched {
+				out = append(out, append(make(types.Row, lw, lw+rw), rr...))
+			}
+		}
+	default:
+		for _, lr := range l.Rows {
+			matched := false
+			for _, rr := range r.Rows {
+				row := append(append(make(types.Row, 0, lw+rw), lr...), rr...)
+				pass := true
+				if on != nil {
+					cctx.Binding.Row = row
+					var err error
+					pass, err = eval.EvalBool(cctx, on)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if pass {
+					matched = true
+					out = append(out, row)
+				}
+			}
+			if !matched && n.Type == sqlast.JoinLeft {
+				out = append(out, append(append(make(types.Row, 0, lw+rw), lr...), make(types.Row, rw)...))
+			}
+		}
+	}
+	return &Result{Schema: combined, Rows: out}, nil
+}
+
+func andAll(a, b sqlast.Expr) sqlast.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &sqlast.Binary{Op: "AND", L: a, R: b}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/core"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/types"
+)
+
+// execSpreadsheet materializes the working relation and reference sheets,
+// then hands off to the core engine with the configured store factory and
+// degree of parallelism.
+func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	for i, rp := range n.RefPlans {
+		res, err := ex.Execute(rp, outer)
+		if err != nil {
+			return nil, err
+		}
+		meta := n.Model.Refs[i]
+		meta.Data = make(map[string]types.Row, len(res.Rows))
+		nd := len(meta.Dims)
+		for _, row := range res.Rows {
+			meta.Data[types.Key(row[:nd]...)] = row
+		}
+	}
+
+	newStore := func() blockstore.Store { return blockstore.NewMem() }
+	if ex.Opts.MemoryBudget > 0 {
+		budget, dir := ex.Opts.MemoryBudget, ex.Opts.SpillDir
+		newStore = func() blockstore.Store {
+			return blockstore.NewSpill(blockstore.Config{BudgetBytes: budget, Dir: dir, RowsPerBlock: 16})
+		}
+	}
+	buckets := ex.Opts.Buckets
+	if buckets <= 0 {
+		buckets = core.ChooseBuckets(len(in.Rows), 64, ex.Opts.MemoryBudget, ex.Opts.Parallel)
+	}
+	rows, stats, err := n.Model.Run(in.Rows, core.RunOptions{
+		Parallel:          ex.Opts.Parallel,
+		Buckets:           buckets,
+		NewStore:          newStore,
+		Subquery:          &runner{ex: ex},
+		Promoted:          n.Promoted,
+		DisableSingleScan: ex.Opts.DisableSingleScan,
+		DisableRangeProbe: ex.Opts.DisableRangeProbe,
+		UseBTreeIndex:     ex.Opts.UseBTreeIndex,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex.mu.Lock()
+	ex.SheetStats.BlockLoads += stats.BlockLoads
+	ex.SheetStats.BlockEvictions += stats.BlockEvictions
+	ex.SheetStats.BytesSpilled += stats.BytesSpilled
+	ex.SheetStats.BytesLoaded += stats.BytesLoaded
+	ex.mu.Unlock()
+
+	if n.DropCols > 0 {
+		for i, r := range rows {
+			rows[i] = r[n.DropCols:]
+		}
+	}
+	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}

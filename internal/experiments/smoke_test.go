@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the figure drivers not covered elsewhere, at tiny scale.
+
+func TestFig2Driver(t *testing.T) {
+	series, err := Fig2(SmallScale, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("series = %d", len(series))
+	}
+	rows := series[0].Points[0].Rows
+	for _, s := range series {
+		if len(s.Points) != 1 {
+			t.Fatalf("%s points = %d", s.Name, len(s.Points))
+		}
+		if s.Points[0].Rows != rows {
+			t.Errorf("%s returned %d rows, baseline %d", s.Name, s.Points[0].Rows, rows)
+		}
+		if s.Points[0].Y <= 0 {
+			t.Errorf("%s has nonpositive time", s.Name)
+		}
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	series, err := Fig4(SmallScale, []int{1, 2}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if len(series[0].Points) != 2 || len(series[1].Points) != 2 {
+		t.Fatalf("points = %d/%d", len(series[0].Points), len(series[1].Points))
+	}
+	// Parallel runs must compute the same result cardinality.
+	if series[1].Points[0].Rows != series[1].Points[1].Rows {
+		t.Error("parallel DOPs disagree on row count")
+	}
+}
+
+func TestS5QueryShapes(t *testing.T) {
+	q := S5Query(2, []string{"a'b"})
+	// Quoting of product codes with quotes.
+	if want := "'a''b'"; !contains(q, want) {
+		t.Errorf("quoting broken:\n%s", q)
+	}
+	if !contains(q, "share_2") || contains(q, "share_3") {
+		t.Errorf("rule count wrong:\n%s", q)
+	}
+	j := S5JoinQuery(2, []string{"x"})
+	if !contains(j, "LEFT JOIN apb_cube a3") || contains(j, "a4") {
+		t.Errorf("join count wrong:\n%s", j)
+	}
+	if !contains(j, "WHERE a1.p IN ('x')") {
+		t.Errorf("join filter missing:\n%s", j)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,201 @@
+// Package parser implements a hand-written lexer and recursive-descent
+// parser for the engine's SQL dialect, including the SPREADSHEET clause.
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp    // operators and punctuation
+	tkParam // unused placeholder for future bind variables
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lowercased; operators canonical
+	pos  int    // byte offset for error messages
+	// quoted marks a double-quoted identifier, which never matches a
+	// keyword ("select" is a plain name).
+	quoted bool
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully up front; the parser then walks the slice.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tkIdent, text: strings.ToLower(l.src[start:l.pos]), pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			// Quoted identifier; "" escapes an embedded quote.
+			l.pos++
+			var id strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("unterminated quoted identifier at offset %d", start)
+				}
+				if l.src[l.pos] == '"' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+						id.WriteByte('"')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				id.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tkIdent, text: strings.ToLower(id.String()), pos: start, quoted: true})
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			next := l.pos + 1
+			if next < len(l.src) && (l.src[next] == '+' || l.src[next] == '-') {
+				next++
+			}
+			if next < len(l.src) && isDigit(l.src[next]) {
+				seenExp = true
+				l.pos = next + 1
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("unterminated string literal at offset %d", start)
+}
+
+// two-character operators, longest match first.
+var twoCharOps = []string{"<=", ">=", "<>", "!=", "||", ":="}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, op := range twoCharOps {
+			if two == op {
+				if op == "!=" {
+					op = "<>"
+				}
+				l.toks = append(l.toks, token{kind: tkOp, text: op, pos: start})
+				l.pos += 2
+				return nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', '[', ']', ',', '.', ';', ':', '&':
+		op := string(c)
+		if c == '&' {
+			op = "AND" // the paper writes & for AND in one listing
+		}
+		l.toks = append(l.toks, token{kind: tkOp, text: op, pos: start})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("unexpected character %q at offset %d", string(c), start)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '$' || c == '#' }

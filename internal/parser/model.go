@@ -1,0 +1,507 @@
+package parser
+
+import (
+	"sqlsheet/internal/sqlast"
+)
+
+// parseSpreadsheetClause parses the clause introduced by SPREADSHEET (or its
+// later Oracle spelling, MODEL).
+func (p *Parser) parseSpreadsheetClause() (*sqlast.SpreadsheetClause, error) {
+	p.next() // SPREADSHEET | MODEL
+	sc := &sqlast.SpreadsheetClause{DefaultMode: sqlast.ModeUpsert}
+
+	// RETURN UPDATED|ALL ROWS may precede the reference sheets.
+	if err := p.parseReturnRows(sc); err != nil {
+		return nil, err
+	}
+
+	for p.peekKw("reference") {
+		ref, err := p.parseReference()
+		if err != nil {
+			return nil, err
+		}
+		sc.Refs = append(sc.Refs, ref)
+	}
+
+	// Main PBY/DBY/MEA.
+	if p.peekKw("pby") || p.peekKw("partition") {
+		cols, err := p.parseColsClause("pby", "partition")
+		if err != nil {
+			return nil, err
+		}
+		sc.PBY = cols
+	}
+	dby, err := p.parseColsClause("dby", "dimension")
+	if err != nil {
+		return nil, err
+	}
+	if dby == nil {
+		return nil, p.errf("spreadsheet clause requires DBY (...)")
+	}
+	sc.DBY = dby
+	mea, err := p.parseMeaClause()
+	if err != nil {
+		return nil, err
+	}
+	if mea == nil {
+		return nil, p.errf("spreadsheet clause requires MEA (...)")
+	}
+	sc.MEA = mea
+
+	// Processing options may appear before and/or after the RULES keyword.
+	if err := p.parseModelOptions(sc); err != nil {
+		return nil, err
+	}
+	p.acceptKw("rules")
+	if err := p.parseModelOptions(sc); err != nil {
+		return nil, err
+	}
+
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if !p.peekOp(")") {
+		for {
+			f, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			sc.Rules = append(sc.Rules, f)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// parseReturnRows parses the optional RETURN UPDATED|ALL ROWS option.
+func (p *Parser) parseReturnRows(sc *sqlast.SpreadsheetClause) error {
+	if !p.acceptKw("return") {
+		return nil
+	}
+	switch {
+	case p.acceptKw("updated"):
+		sc.ReturnUpdated = true
+	case p.acceptKw("all"):
+		sc.ReturnUpdated = false
+	default:
+		return p.errf("expected UPDATED or ALL after RETURN")
+	}
+	return p.expectKw("rows")
+}
+
+func (p *Parser) parseModelOptions(sc *sqlast.SpreadsheetClause) error {
+	for {
+		switch {
+		case p.peekKw("return"):
+			if err := p.parseReturnRows(sc); err != nil {
+				return err
+			}
+		case p.acceptKw("update"):
+			sc.DefaultMode = sqlast.ModeUpdate
+		case p.acceptKw("upsert"):
+			sc.DefaultMode = sqlast.ModeUpsert
+		case p.peekKw("sequential"):
+			p.next()
+			if err := p.expectKw("order"); err != nil {
+				return err
+			}
+			sc.SeqOrder = true
+		case p.peekKw("automatic"):
+			p.next()
+			if err := p.expectKw("order"); err != nil {
+				return err
+			}
+			sc.SeqOrder = false
+		case p.peekKw("ignore"):
+			p.next()
+			if err := p.expectKw("nav"); err != nil {
+				return err
+			}
+			sc.IgnoreNav = true
+		case p.peekKw("keep"):
+			p.next()
+			if err := p.expectKw("nav"); err != nil {
+				return err
+			}
+			sc.IgnoreNav = false
+		case p.peekKw("iterate"):
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return err
+			}
+			n, err := p.atoiLiteral()
+			if err != nil {
+				return err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return err
+			}
+			it := &sqlast.IterateOpt{N: n}
+			if p.acceptKw("until") {
+				if err := p.expectOp("("); err != nil {
+					return err
+				}
+				save := p.inModel
+				p.inModel = true
+				cond, err := p.parseExpr()
+				p.inModel = save
+				if err != nil {
+					return err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return err
+				}
+				it.Until = cond
+			}
+			sc.Iterate = it
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *Parser) parseReference() (*sqlast.RefSheet, error) {
+	p.next() // REFERENCE
+	ref := &sqlast.RefSheet{}
+	if p.peek().kind == tkIdent && !p.peekKw("on") {
+		ref.Name = p.next().text
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	ref.Query = q
+	dby, err := p.parseColsClause("dby", "dimension")
+	if err != nil {
+		return nil, err
+	}
+	if dby == nil {
+		return nil, p.errf("reference spreadsheet requires DBY (...)")
+	}
+	ref.DBY = dby
+	mea, err := p.parseMeaClause()
+	if err != nil {
+		return nil, err
+	}
+	if mea == nil {
+		return nil, p.errf("reference spreadsheet requires MEA (...)")
+	}
+	ref.MEA = mea
+	return ref, nil
+}
+
+// parseColsClause parses "PBY (a, b)" / "PARTITION BY (a, b)" style clauses.
+// Returns nil if neither keyword is present.
+func (p *Parser) parseColsClause(short, long string) ([]sqlast.Expr, error) {
+	switch {
+	case p.acceptKw(short):
+	case p.peekKw(long):
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []sqlast.Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, e)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *Parser) parseMeaClause() ([]sqlast.MeaItem, error) {
+	if !p.acceptKw("mea") && !p.acceptKw("measures") {
+		return nil, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var items []sqlast.MeaItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := sqlast.MeaItem{Expr: e}
+		if p.acceptKw("as") {
+			a, err := p.parseIdent("measure alias")
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = a
+		} else if p.peekAliasable() {
+			item.Alias = p.next().text
+		}
+		items = append(items, item)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *Parser) parseFormula() (*sqlast.Formula, error) {
+	f := &sqlast.Formula{}
+	// Optional label: ident ':'.
+	if p.peek().kind == tkIdent && p.peekAt(1).kind == tkOp && p.peekAt(1).text == ":" &&
+		!p.peekKw("update") && !p.peekKw("upsert") {
+		f.Label = p.next().text
+		p.next() // ':'
+	}
+	switch {
+	case p.acceptKw("update"):
+		f.Mode = sqlast.ModeUpdate
+	case p.acceptKw("upsert"):
+		f.Mode = sqlast.ModeUpsert
+	}
+	save := p.inModel
+	p.inModel = true
+	defer func() { p.inModel = save }()
+
+	lhs, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	cell, ok := lhs.(*sqlast.CellRef)
+	if !ok {
+		return nil, p.errf("formula left side must be a cell reference, got %s", lhs)
+	}
+	f.LHS = cell
+	if p.peekKw("order") {
+		// Formula-level ORDER BY items parse at additive precedence so the
+		// "=" that separates the left and right sides is not consumed as a
+		// comparison.
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlast.OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			f.OrderBy = append(f.OrderBy, item)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	f.RHS = rhs
+	return f, nil
+}
+
+// parseQualList parses "[q, q, ...]" after a measure or aggregate.
+func (p *Parser) parseQualList() ([]sqlast.DimQual, error) {
+	if err := p.expectOp("["); err != nil {
+		return nil, err
+	}
+	var quals []sqlast.DimQual
+	for {
+		q, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		quals = append(quals, q)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp("]"); err != nil {
+		return nil, err
+	}
+	return quals, nil
+}
+
+func (p *Parser) parseQual() (sqlast.DimQual, error) {
+	if p.peekOp("*") {
+		p.next()
+		return sqlast.DimQual{Kind: sqlast.QualStar}, nil
+	}
+	if p.acceptKw("for") {
+		return p.parseForQual()
+	}
+	return p.parseQualExpr()
+}
+
+func (p *Parser) parseForQual() (sqlast.DimQual, error) {
+	var q sqlast.DimQual
+	q.Kind = sqlast.QualForIn
+	dim, err := p.parseIdent("dimension name")
+	if err != nil {
+		return q, err
+	}
+	q.Dim = dim
+	if p.acceptKw("from") {
+		// FOR dim FROM lo TO hi [INCREMENT step].
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return q, err
+		}
+		if err := p.expectKw("to"); err != nil {
+			return q, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return q, err
+		}
+		q.ForFrom, q.ForTo = lo, hi
+		if p.acceptKw("increment") {
+			step, err := p.parseAdditive()
+			if err != nil {
+				return q, err
+			}
+			q.ForStep = step
+		}
+		return q, nil
+	}
+	if err := p.expectKw("in"); err != nil {
+		return q, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return q, err
+	}
+	if p.peekKw("select") || p.peekKw("with") {
+		sub, err := p.parseSelectStmt()
+		if err != nil {
+			return q, err
+		}
+		q.ForSub = sub
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return q, err
+			}
+			q.ForVals = append(q.ForVals, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+var rangeOps = map[string]bool{"<": true, "<=": true}
+var rangeOpsDesc = map[string]bool{">": true, ">=": true}
+
+// parseQualExpr parses one positional qualifier expression, supporting the
+// chained-comparison range form "lo <= dim < hi" (and its > mirror).
+func (p *Parser) parseQualExpr() (sqlast.DimQual, error) {
+	var q sqlast.DimQual
+	e1, err := p.parseAdditive()
+	if err != nil {
+		return q, err
+	}
+	t := p.peek()
+	if t.kind == tkOp && compareOps[t.text] {
+		op1 := p.next().text
+		e2, err := p.parseAdditive()
+		if err != nil {
+			return q, err
+		}
+		t2 := p.peek()
+		if t2.kind == tkOp && ((rangeOps[op1] && rangeOps[t2.text]) || (rangeOpsDesc[op1] && rangeOpsDesc[t2.text])) {
+			op2 := p.next().text
+			e3, err := p.parseAdditive()
+			if err != nil {
+				return q, err
+			}
+			mid, ok := e2.(*sqlast.ColumnRef)
+			if !ok || mid.Table != "" {
+				return q, p.errf("middle term of a chained range must be a dimension name")
+			}
+			q.Kind = sqlast.QualRange
+			q.Dim = mid.Name
+			if rangeOps[op1] {
+				q.Lo, q.Hi = e1, e3
+				q.LoIncl, q.HiIncl = op1 == "<=", op2 == "<="
+			} else {
+				q.Lo, q.Hi = e3, e1
+				q.LoIncl, q.HiIncl = op2 == ">=", op1 == ">="
+			}
+			return q, nil
+		}
+		// Plain comparison. "dim = e" with a bare column left side becomes a
+		// symbolic point; anything else is a predicate qualifier.
+		if op1 == "=" {
+			if c, ok := e1.(*sqlast.ColumnRef); ok && c.Table == "" {
+				q.Kind = sqlast.QualPoint
+				q.Dim = c.Name
+				q.Val = e2
+				return q, nil
+			}
+		}
+		q.Kind = sqlast.QualPred
+		q.Pred = &sqlast.Binary{Op: op1, L: e1, R: e2}
+		return q, nil
+	}
+	// IN / BETWEEN / LIKE / IS NULL predicates over the dimension.
+	if t.kind == tkIdent && (t.text == "in" || t.text == "between" || t.text == "like" || t.text == "is" || t.text == "not") {
+		pred, err := p.parseComparisonRest(e1)
+		if err != nil {
+			return q, err
+		}
+		if pred != e1 {
+			q.Kind = sqlast.QualPred
+			q.Pred = pred
+			return q, nil
+		}
+	}
+	// Positional single value.
+	q.Kind = sqlast.QualPoint
+	q.Val = e1
+	return q, nil
+}

@@ -1,0 +1,76 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corpus holds representative statements whose mutations must never panic
+// the parser.
+var corpus = []string{
+	`SELECT r, p, t, s FROM f SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+	 ( s['dvd',2002] = avg(s)['dvd', 1992<t<2002] * 1.6 )`,
+	`SELECT * FROM (SELECT a, b FROM t WHERE a IN (SELECT x FROM u)) v
+	 WHERE b BETWEEN 1 AND 2 ORDER BY 1 DESC LIMIT 3`,
+	`WITH w AS (SELECT 1 a) SELECT a FROM w UNION ALL SELECT 2`,
+	`INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, CASE WHEN 1=1 THEN 'z' END)`,
+	`CREATE TABLE t (a INT, b VARCHAR(10), c NUMBER)`,
+	`SELECT p, m FROM f MODEL REFERENCE r ON (SELECT m, y FROM d) DBY(m) MEA(y)
+	 DIMENSION BY (m) MEASURES (s) ITERATE (5) UNTIL (previous(s[1]) - s[1] <= 0)
+	 ( UPSERT s[FOR m FROM 1 TO 10 INCREMENT 3] = y[cv(m)] )`,
+}
+
+// TestParserNeverPanics truncates and mutates the corpus aggressively; the
+// parser must return (possibly an error) without panicking.
+func TestParserNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(7))
+	mutants := 0
+	for _, src := range corpus {
+		// Every prefix.
+		for i := 0; i <= len(src); i++ {
+			_, _ = Parse(src[:i])
+			mutants++
+		}
+		// Random byte substitutions.
+		for k := 0; k < 300; k++ {
+			b := []byte(src)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+			_, _ = Parse(string(b))
+			mutants++
+		}
+		// Random token deletions (split on spaces).
+		for k := 0; k < 100; k++ {
+			b := []byte(src)
+			cut := rng.Intn(len(b) - 1)
+			_, _ = Parse(string(b[:cut]) + string(b[cut+1:]))
+			mutants++
+		}
+	}
+	if mutants < 1000 {
+		t.Fatalf("only %d mutants exercised", mutants)
+	}
+}
+
+// TestDeepNestingNoOverflow guards the recursive-descent parser against
+// pathological nesting.
+func TestDeepNestingNoOverflow(t *testing.T) {
+	depth := 2000
+	expr := ""
+	for i := 0; i < depth; i++ {
+		expr += "("
+	}
+	expr += "1"
+	for i := 0; i < depth; i++ {
+		expr += ")"
+	}
+	if _, err := ParseExpr(expr); err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+}

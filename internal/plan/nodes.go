@@ -1,0 +1,172 @@
+// Package plan builds and optimizes logical query plans: name resolution,
+// aggregate rewriting, filter pushdown, join method selection, and the
+// spreadsheet-specific optimizations of §4 (formula pruning/rewriting,
+// predicate pushing through PBY / independent-dimension / bounding-rectangle
+// analysis, and the three reference-spreadsheet transforms).
+package plan
+
+import (
+	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/core"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/sqlast"
+)
+
+// Node is a logical plan operator. Schemas are static: every node knows its
+// output columns at plan time.
+type Node interface {
+	Schema() *eval.BoundSchema
+	Children() []Node
+}
+
+// Scan reads a stored table, applying an optional pushed-down filter.
+type Scan struct {
+	Table  *catalog.Table
+	Alias  string
+	Filter sqlast.Expr // nil = none; conjuncts pushed by the optimizer
+	schema *eval.BoundSchema
+}
+
+// CTERef reads a common table expression materialized per execution.
+type CTERef struct {
+	Def    *CTEDef
+	Alias  string
+	Filter sqlast.Expr
+	schema *eval.BoundSchema
+}
+
+// CTEDef is a planned WITH entry, shared by every CTERef to it.
+type CTEDef struct {
+	Name string
+	Plan Node
+}
+
+// Filter keeps rows satisfying Cond.
+type Filter struct {
+	Input Node
+	Cond  sqlast.Expr
+}
+
+// Project computes expressions over input rows.
+type Project struct {
+	Input  Node
+	Exprs  []sqlast.Expr
+	schema *eval.BoundSchema
+}
+
+// JoinMethod selects the physical join algorithm.
+type JoinMethod uint8
+
+const (
+	// JoinAuto picks hash when equi-keys exist, else nested loops.
+	JoinAuto JoinMethod = iota
+	JoinHash
+	JoinNestedLoop
+)
+
+func (m JoinMethod) String() string {
+	switch m {
+	case JoinHash:
+		return "hash"
+	case JoinNestedLoop:
+		return "nested-loop"
+	}
+	return "auto"
+}
+
+// Join combines two inputs. LeftKeys/RightKeys hold the equi-join key
+// expressions (evaluated against the respective side); Residual is the
+// remaining predicate evaluated over the combined row.
+type Join struct {
+	L, R      Node
+	Type      sqlast.JoinType
+	LeftKeys  []sqlast.Expr
+	RightKeys []sqlast.Expr
+	Residual  sqlast.Expr
+	Method    JoinMethod
+	schema    *eval.BoundSchema
+}
+
+// AggSpec is one aggregate computed by GroupBy.
+type AggSpec struct {
+	Name string // output column name ($agg0, ...)
+	Call *sqlast.FuncCall
+}
+
+// GroupBy hash-aggregates its input. Output schema: one column per key
+// (named after the key when it is a plain column) then one per aggregate.
+type GroupBy struct {
+	Input  Node
+	Keys   []sqlast.Expr
+	Aggs   []AggSpec
+	schema *eval.BoundSchema
+}
+
+// Union concatenates (ALL) or deduplicates its inputs.
+type Union struct {
+	L, R Node
+	All  bool
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Input Node
+}
+
+// Sort orders rows by the items, evaluated against the input schema.
+type Sort struct {
+	Input Node
+	Items []sqlast.OrderItem
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Spreadsheet executes a compiled spreadsheet clause over its input, which
+// must produce rows in the model's working-schema layout. RefPlans supply
+// the reference sheets' data; ForInPlans the FOR-IN subqueries.
+type Spreadsheet struct {
+	Input Node
+	Model *core.Model
+	// RefPlans aligns with Model.Refs.
+	RefPlans []Node
+	// Promoted dimensions for parallel execution (S4 duplication).
+	Promoted []core.PromotedDim
+	// DropCols is the number of leading working-schema columns (duplicated
+	// distribution keys) removed from the node's output.
+	DropCols int
+	// Notes records optimizer decisions for EXPLAIN.
+	Notes  []string
+	schema *eval.BoundSchema
+}
+
+func (n *Scan) Schema() *eval.BoundSchema        { return n.schema }
+func (n *CTERef) Schema() *eval.BoundSchema      { return n.schema }
+func (n *Filter) Schema() *eval.BoundSchema      { return n.Input.Schema() }
+func (n *Project) Schema() *eval.BoundSchema     { return n.schema }
+func (n *Join) Schema() *eval.BoundSchema        { return n.schema }
+func (n *GroupBy) Schema() *eval.BoundSchema     { return n.schema }
+func (n *Union) Schema() *eval.BoundSchema       { return n.L.Schema() }
+func (n *Distinct) Schema() *eval.BoundSchema    { return n.Input.Schema() }
+func (n *Sort) Schema() *eval.BoundSchema        { return n.Input.Schema() }
+func (n *Limit) Schema() *eval.BoundSchema       { return n.Input.Schema() }
+func (n *Spreadsheet) Schema() *eval.BoundSchema { return n.schema }
+
+func (n *Scan) Children() []Node     { return nil }
+func (n *CTERef) Children() []Node   { return nil }
+func (n *Filter) Children() []Node   { return []Node{n.Input} }
+func (n *Project) Children() []Node  { return []Node{n.Input} }
+func (n *Join) Children() []Node     { return []Node{n.L, n.R} }
+func (n *GroupBy) Children() []Node  { return []Node{n.Input} }
+func (n *Union) Children() []Node    { return []Node{n.L, n.R} }
+func (n *Distinct) Children() []Node { return []Node{n.Input} }
+func (n *Sort) Children() []Node     { return []Node{n.Input} }
+func (n *Limit) Children() []Node    { return []Node{n.Input} }
+func (n *Spreadsheet) Children() []Node {
+	out := []Node{n.Input}
+	out = append(out, n.RefPlans...)
+	return out
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+// PushStrategy selects how predicates on functionally independent
+// dimensions are pushed through reference spreadsheets (§4's three
+// transformations).
+type PushStrategy uint8
+
+const (
+	// PushExtended executes the reference query at optimization time and
+	// pushes the disjunction of outer and referenced values ("extended
+	// pushing"). The paper's best performer; the default.
+	PushExtended PushStrategy = iota
+	// PushRefSubquery pushes a subquery predicate over the reference query
+	// ("ref-subquery pushing", the magic-set-like transform).
+	PushRefSubquery
+	// PushUnfold replaces reference lookups with their values, specializing
+	// formulas per outer dimension value ("formula unfolding").
+	PushUnfold
+	// PushNone disables pushing through functionally independent
+	// dimensions (the "no pushing" baseline of Fig. 2).
+	PushNone
+)
+
+func (s PushStrategy) String() string {
+	switch s {
+	case PushExtended:
+		return "extended"
+	case PushRefSubquery:
+		return "ref-subquery"
+	case PushUnfold:
+		return "unfold"
+	case PushNone:
+		return "none"
+	}
+	return "?"
+}
+
+// RefExecutor lets the optimizer execute reference queries at plan time
+// (the paper calls this "dynamic optimization"); the executor package
+// provides the implementation.
+type RefExecutor interface {
+	Rows(stmt *sqlast.SelectStmt) (*eval.BoundSchema, []types.Row, error)
+}
+
+// Options steers planning and optimization. The zero value gives default
+// behaviour with every optimization enabled.
+type Options struct {
+	// ForceJoin overrides join method selection (JoinAuto = pick).
+	ForceJoin JoinMethod
+	// Push selects the reference-pushing transform.
+	Push PushStrategy
+	// DisableSheetPrune turns off formula pruning (PruneFormulas).
+	DisableSheetPrune bool
+	// DisableSheetRewrite turns off left-side restriction of sink formulas.
+	DisableSheetRewrite bool
+	// DisableSheetPush turns off predicate pushing through spreadsheets.
+	DisableSheetPush bool
+	// DisableFilterPushdown turns off generic filter pushdown.
+	DisableFilterPushdown bool
+	// Parallel is the spreadsheet degree of parallelism.
+	Parallel int
+	// PromoteIndependentDims duplicates an independent dimension into the
+	// distribution key when the PBY list is empty (S3/S4).
+	PromoteIndependentDims bool
+	// Exec runs reference queries during optimization (extended pushing,
+	// formula unfolding); nil disables those strategies gracefully.
+	Exec RefExecutor
+	// EnableMVRewrite substitutes materialized views for subqueries whose
+	// canonical SQL exactly matches an MV definition (§7; the general
+	// problem is undecidable, the exact-match restriction is not). Off by
+	// default: a rewrite may serve data stale since the last REFRESH.
+	EnableMVRewrite bool
+}

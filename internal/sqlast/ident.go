@@ -1,0 +1,57 @@
+package sqlast
+
+import "strings"
+
+// reservedWords is the set of identifiers the formatter must quote for the
+// output to re-parse as a name rather than a keyword. It is deliberately a
+// superset of what the parser treats contextually — over-quoting is
+// harmless, under-quoting breaks round-trips.
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "having": true,
+	"order": true, "by": true, "union": true, "all": true, "distinct": true,
+	"limit": true, "as": true, "on": true, "join": true, "inner": true,
+	"left": true, "right": true, "full": true, "cross": true, "outer": true,
+	"and": true, "or": true, "not": true, "in": true, "between": true,
+	"like": true, "is": true, "null": true, "true": true, "false": true,
+	"case": true, "when": true, "then": true, "else": true, "end": true,
+	"exists": true, "asc": true, "desc": true, "with": true, "insert": true,
+	"into": true, "values": true, "create": true, "table": true, "view": true,
+	"materialized": true, "refresh": true, "drop": true, "set": true,
+	"spreadsheet": true, "model": true, "pby": true, "dby": true, "mea": true,
+	"partition": true, "dimension": true, "measures": true, "rules": true,
+	"update": true, "upsert": true, "sequential": true, "automatic": true,
+	"iterate": true, "until": true, "ignore": true, "nav": true, "keep": true,
+	"reference": true, "for": true, "to": true, "increment": true,
+	"return": true, "updated": true, "rows": true, "over": true,
+	"preceding": true, "following": true, "unbounded": true, "current": true,
+	"row": true,
+}
+
+// IsReservedWord reports whether the formatter must quote name.
+func IsReservedWord(name string) bool { return reservedWords[name] }
+
+// QuoteIdent renders an identifier, double-quoting it when it is reserved
+// or not identifier-shaped. Embedded double quotes are doubled (the lexer
+// understands the escape).
+func QuoteIdent(name string) string {
+	if identShaped(name) && !reservedWords[name] {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func identShaped(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '$' || c == '#'):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package sqlast
+
+// SpreadsheetClause is the paper's new query clause: PARTITION BY /
+// DIMENSION BY / MEASURES column classification, processing options,
+// optional read-only reference spreadsheets, and a list of formulas.
+type SpreadsheetClause struct {
+	Refs []*RefSheet
+
+	PBY []Expr // partition columns (usually ColumnRefs)
+	DBY []Expr // dimension columns: array indexes within a partition
+	MEA []MeaItem
+
+	// DefaultMode applies to formulas without an explicit UPDATE/UPSERT
+	// annotation. The paper's default is UPSERT.
+	DefaultMode FormulaMode
+
+	SeqOrder  bool // SEQUENTIAL ORDER (default AUTOMATIC ORDER)
+	IgnoreNav bool
+	// ReturnUpdated restricts the result to rows assigned or created by
+	// the formulas (RETURN UPDATED ROWS).
+	ReturnUpdated bool
+
+	Iterate *IterateOpt // nil unless ITERATE(n) given
+
+	Rules []*Formula
+}
+
+// IterateOpt is ITERATE (N) [UNTIL (cond)].
+type IterateOpt struct {
+	N     int
+	Until Expr // may reference previous(cell); nil if absent
+}
+
+// MeaItem is one MEASURES entry: an expression with an optional alias.
+// A bare identifier that does not resolve to an input column declares a new
+// NULL-initialized measure; any other expression initializes a new measure
+// per input row (e.g. "0 AS x").
+type MeaItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Name returns the measure's output column name.
+func (m MeaItem) Name() string {
+	if m.Alias != "" {
+		return m.Alias
+	}
+	if c, ok := m.Expr.(*ColumnRef); ok {
+		return c.Name
+	}
+	return m.Expr.String()
+}
+
+// RefSheet is a read-only reference spreadsheet: an n-dimensional lookup
+// array defined over another query block.
+type RefSheet struct {
+	Name  string
+	Query *SelectStmt
+	DBY   []Expr
+	MEA   []MeaItem
+}
+
+// FormulaMode is UPDATE / UPSERT / unspecified.
+type FormulaMode uint8
+
+const (
+	// ModeDefault defers to the clause's DefaultMode.
+	ModeDefault FormulaMode = iota
+	// ModeUpdate ignores nonexistent target cells.
+	ModeUpdate
+	// ModeUpsert creates nonexistent target cells (single-cell and FOR-IN
+	// left sides only).
+	ModeUpsert
+)
+
+func (m FormulaMode) String() string {
+	switch m {
+	case ModeUpdate:
+		return "UPDATE"
+	case ModeUpsert:
+		return "UPSERT"
+	}
+	return ""
+}
+
+// Formula is one assignment rule: LHS cell (or range of cells) = RHS expr.
+type Formula struct {
+	Label   string
+	Mode    FormulaMode
+	LHS     *CellRef
+	OrderBy []OrderItem // evaluation order for existential left sides
+	RHS     Expr
+}

@@ -1,0 +1,259 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+func (e *Literal) String() string { return e.Val.SQLLiteral() }
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return QuoteIdent(e.Table) + "." + QuoteIdent(e.Name)
+	}
+	return QuoteIdent(e.Name)
+}
+
+func (e *Star) String() string {
+	if e.Table != "" {
+		return e.Table + ".*"
+	}
+	return "*"
+}
+
+func (e *Unary) String() string {
+	if e.Op == "NOT" {
+		return "NOT " + e.X.String()
+	}
+	return e.Op + e.X.String()
+}
+
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e *Between) String() string {
+	n := ""
+	if e.Not {
+		n = " NOT"
+	}
+	return e.X.String() + n + " BETWEEN " + e.Lo.String() + " AND " + e.Hi.String()
+}
+
+func exprList(es []Expr) string {
+	ss := make([]string, len(es))
+	for i, e := range es {
+		ss[i] = e.String()
+	}
+	return strings.Join(ss, ", ")
+}
+
+func (e *InList) String() string {
+	n := ""
+	if e.Not {
+		n = " NOT"
+	}
+	return e.X.String() + n + " IN (" + exprList(e.List) + ")"
+}
+
+func (e *InSubquery) String() string {
+	n := ""
+	if e.Not {
+		n = " NOT"
+	}
+	return e.X.String() + n + " IN (" + FormatStatement(e.Sub) + ")"
+}
+
+func (e *Exists) String() string {
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return n + "EXISTS (" + FormatStatement(e.Sub) + ")"
+}
+
+func (e *ScalarSubquery) String() string { return "(" + FormatStatement(e.Sub) + ")" }
+
+func (e *IsNull) String() string {
+	if e.Not {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+func (e *Like) String() string {
+	n := ""
+	if e.Not {
+		n = " NOT"
+	}
+	return e.X.String() + n + " LIKE " + e.Pattern.String()
+}
+
+func (e *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if e.Operand != nil {
+		b.WriteString(" " + e.Operand.String())
+	}
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return QuoteIdent(e.Name) + "(*)"
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return QuoteIdent(e.Name) + "(" + d + exprList(e.Args) + ")"
+}
+
+func (e *CurrentV) String() string { return "cv(" + QuoteIdent(e.Dim) + ")" }
+
+func (e *WindowFunc) String() string {
+	var b strings.Builder
+	b.WriteString(e.Func.String())
+	b.WriteString(" OVER (")
+	if len(e.PartitionBy) > 0 {
+		b.WriteString("PARTITION BY " + exprList(e.PartitionBy))
+	}
+	for i, o := range e.OrderBy {
+		if i == 0 {
+			if len(e.PartitionBy) > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.Expr.String())
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if e.Frame != nil {
+		fmt.Fprintf(&b, " ROWS BETWEEN %s AND %s", e.Frame.Start, e.Frame.End)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders a frame bound the way it is written.
+func (fb FrameBound) String() string {
+	switch fb.Kind {
+	case FrameUnboundedPreceding:
+		return "UNBOUNDED PRECEDING"
+	case FramePreceding:
+		return fmt.Sprintf("%d PRECEDING", fb.N)
+	case FrameCurrentRow:
+		return "CURRENT ROW"
+	case FrameFollowing:
+		return fmt.Sprintf("%d FOLLOWING", fb.N)
+	case FrameUnboundedFollowing:
+		return "UNBOUNDED FOLLOWING"
+	}
+	return "?"
+}
+
+func (q DimQual) String() string {
+	switch q.Kind {
+	case QualStar:
+		return "*"
+	case QualPoint:
+		if q.Dim != "" {
+			return QuoteIdent(q.Dim) + "=" + q.Val.String()
+		}
+		return q.Val.String()
+	case QualPred:
+		return q.Pred.String()
+	case QualRange:
+		lo, hi := "<", "<"
+		if q.LoIncl {
+			lo = "<="
+		}
+		if q.HiIncl {
+			hi = "<="
+		}
+		return q.Lo.String() + lo + QuoteIdent(q.Dim) + hi + q.Hi.String()
+	case QualForIn:
+		if q.ForSub != nil {
+			return "FOR " + QuoteIdent(q.Dim) + " IN (" + FormatStatement(q.ForSub) + ")"
+		}
+		if q.ForFrom != nil {
+			out := "FOR " + QuoteIdent(q.Dim) + " FROM " + q.ForFrom.String() + " TO " + q.ForTo.String()
+			if q.ForStep != nil {
+				out += " INCREMENT " + q.ForStep.String()
+			}
+			return out
+		}
+		return "FOR " + QuoteIdent(q.Dim) + " IN (" + exprList(q.ForVals) + ")"
+	}
+	return "?"
+}
+
+func qualList(qs []DimQual) string {
+	ss := make([]string, len(qs))
+	for i, q := range qs {
+		ss[i] = q.String()
+	}
+	return strings.Join(ss, ", ")
+}
+
+func (e *CellRef) String() string {
+	s := QuoteIdent(e.Measure)
+	if e.Sheet != "" {
+		s = QuoteIdent(e.Sheet) + "." + s
+	}
+	return s + "[" + qualList(e.Quals) + "]"
+}
+
+func (e *CellAgg) String() string {
+	args := exprList(e.Args)
+	if e.Star {
+		args = "*"
+	}
+	return QuoteIdent(e.Func) + "(" + args + ")[" + qualList(e.Quals) + "]"
+}
+
+func (e *Previous) String() string { return "previous(" + e.Cell.String() + ")" }
+
+func (e *Present) String() string {
+	if e.Not {
+		return e.Cell.String() + " IS NOT PRESENT"
+	}
+	return e.Cell.String() + " IS PRESENT"
+}
+
+// String renders the formula roughly as written, for EXPLAIN output.
+func (f *Formula) String() string {
+	var b strings.Builder
+	if f.Label != "" {
+		b.WriteString(QuoteIdent(f.Label) + ": ")
+	}
+	if m := f.Mode.String(); m != "" {
+		b.WriteString(m + " ")
+	}
+	b.WriteString(f.LHS.String())
+	for i, o := range f.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.Expr.String())
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	b.WriteString(" = ")
+	b.WriteString(f.RHS.String())
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package sqlast
+
+// Transform rebuilds an expression tree bottom-up. fn receives each rebuilt
+// node and may return a replacement; returning the argument keeps it.
+// Subqueries are not entered (they are independent scopes); dimension
+// qualifier expressions are transformed.
+func Transform(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Unary:
+		e = &Unary{Op: x.Op, X: Transform(x.X, fn)}
+	case *Binary:
+		e = &Binary{Op: x.Op, L: Transform(x.L, fn), R: Transform(x.R, fn)}
+	case *Between:
+		e = &Between{X: Transform(x.X, fn), Lo: Transform(x.Lo, fn), Hi: Transform(x.Hi, fn), Not: x.Not}
+	case *InList:
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = Transform(it, fn)
+		}
+		e = &InList{X: Transform(x.X, fn), List: list, Not: x.Not}
+	case *InSubquery:
+		e = &InSubquery{X: Transform(x.X, fn), Sub: x.Sub, Not: x.Not}
+	case *IsNull:
+		e = &IsNull{X: Transform(x.X, fn), Not: x.Not}
+	case *Like:
+		e = &Like{X: Transform(x.X, fn), Pattern: Transform(x.Pattern, fn), Not: x.Not}
+	case *Case:
+		c := &Case{Operand: Transform(x.Operand, fn), Else: Transform(x.Else, fn)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, When{Cond: Transform(w.Cond, fn), Then: Transform(w.Then, fn)})
+		}
+		e = c
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Transform(a, fn)
+		}
+		e = &FuncCall{Name: x.Name, Args: args, Star: x.Star, Distinct: x.Distinct}
+	case *WindowFunc:
+		w := &WindowFunc{Frame: x.Frame}
+		if f, ok := Transform(x.Func, fn).(*FuncCall); ok {
+			w.Func = f
+		} else {
+			w.Func = x.Func
+		}
+		for _, p := range x.PartitionBy {
+			w.PartitionBy = append(w.PartitionBy, Transform(p, fn))
+		}
+		for _, o := range x.OrderBy {
+			w.OrderBy = append(w.OrderBy, OrderItem{Expr: Transform(o.Expr, fn), Desc: o.Desc})
+		}
+		e = w
+	case *CellRef:
+		e = &CellRef{Sheet: x.Sheet, Measure: x.Measure, Quals: transformQuals(x.Quals, fn)}
+	case *CellAgg:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Transform(a, fn)
+		}
+		e = &CellAgg{Func: x.Func, Args: args, Star: x.Star, Quals: transformQuals(x.Quals, fn)}
+	case *Previous:
+		if c, ok := Transform(x.Cell, fn).(*CellRef); ok {
+			e = &Previous{Cell: c}
+		}
+	case *Present:
+		if c, ok := Transform(x.Cell, fn).(*CellRef); ok {
+			e = &Present{Cell: c, Not: x.Not}
+		}
+	}
+	return fn(e)
+}
+
+func transformQuals(qs []DimQual, fn func(Expr) Expr) []DimQual {
+	out := make([]DimQual, len(qs))
+	for i, q := range qs {
+		nq := q
+		nq.Val = Transform(q.Val, fn)
+		nq.Pred = Transform(q.Pred, fn)
+		nq.Lo = Transform(q.Lo, fn)
+		nq.Hi = Transform(q.Hi, fn)
+		if len(q.ForVals) > 0 {
+			nq.ForVals = make([]Expr, len(q.ForVals))
+			for j, v := range q.ForVals {
+				nq.ForVals[j] = Transform(v, fn)
+			}
+		}
+		out[i] = nq
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package sqlast
+
+// WalkExpr calls fn for e and every sub-expression of e, pre-order.
+// Returning false from fn prunes descent into that node's children.
+// Subqueries are not entered; dimension-qualifier expressions are.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Unary:
+		WalkExpr(x.X, fn)
+	case *Binary:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Between:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *InList:
+		WalkExpr(x.X, fn)
+		for _, it := range x.List {
+			WalkExpr(it, fn)
+		}
+	case *InSubquery:
+		WalkExpr(x.X, fn)
+	case *IsNull:
+		WalkExpr(x.X, fn)
+	case *Like:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Pattern, fn)
+	case *Case:
+		WalkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *WindowFunc:
+		WalkExpr(x.Func, fn)
+		for _, p := range x.PartitionBy {
+			WalkExpr(p, fn)
+		}
+		for _, o := range x.OrderBy {
+			WalkExpr(o.Expr, fn)
+		}
+	case *CellRef:
+		walkQuals(x.Quals, fn)
+	case *CellAgg:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+		walkQuals(x.Quals, fn)
+	case *Previous:
+		WalkExpr(x.Cell, fn)
+	case *Present:
+		WalkExpr(x.Cell, fn)
+	}
+}
+
+func walkQuals(qs []DimQual, fn func(Expr) bool) {
+	for _, q := range qs {
+		WalkExpr(q.Val, fn)
+		WalkExpr(q.Pred, fn)
+		WalkExpr(q.Lo, fn)
+		WalkExpr(q.Hi, fn)
+		for _, v := range q.ForVals {
+			WalkExpr(v, fn)
+		}
+	}
+}
+
+// CellRefs collects every CellRef and CellAgg in e (including nested ones
+// inside qualifier expressions).
+func CellRefs(e Expr) (cells []*CellRef, aggs []*CellAgg) {
+	WalkExpr(e, func(n Expr) bool {
+		switch x := n.(type) {
+		case *CellRef:
+			cells = append(cells, x)
+		case *CellAgg:
+			aggs = append(aggs, x)
+		}
+		return true
+	})
+	return cells, aggs
+}
+
+// ContainsCurrentV reports whether e references cv().
+func ContainsCurrentV(e Expr) bool {
+	found := false
+	WalkExpr(e, func(n Expr) bool {
+		if _, ok := n.(*CurrentV); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ColumnRefs collects every ColumnRef in e.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	WalkExpr(e, func(n Expr) bool {
+		if c, ok := n.(*ColumnRef); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// HasSubquery reports whether e contains a subquery of any kind.
+func HasSubquery(e Expr) bool {
+	found := false
+	WalkExpr(e, func(n Expr) bool {
+		switch n.(type) {
+		case *InSubquery, *Exists, *ScalarSubquery:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,98 @@
+package types
+
+import (
+	"fmt"
+	"math"
+)
+
+// NavMode controls how NULL operands behave in numeric operations.
+type NavMode uint8
+
+const (
+	// KeepNav is standard SQL: any NULL operand makes the result NULL.
+	KeepNav NavMode = iota
+	// IgnoreNav implements the spreadsheet clause's IGNORE NAV option:
+	// NULL numeric operands are treated as 0 (strings as ”).
+	IgnoreNav
+)
+
+// coerceNum prepares a value for arithmetic under the given NAV mode.
+// ok is false when the operation must return NULL.
+func coerceNum(v Value, nav NavMode) (Value, bool) {
+	if v.IsNull() {
+		if nav == IgnoreNav {
+			return NewInt(0), true
+		}
+		return Null, false
+	}
+	if !v.IsNumeric() {
+		return Null, false
+	}
+	return v, true
+}
+
+// Arith applies a binary arithmetic operator (+ - * /) to a and b.
+// Integer/integer stays integer except for division, which is always
+// floating point (OLAP ratio semantics; 1/3 must not be 0).
+func Arith(op byte, a, b Value, nav NavMode) (Value, error) {
+	if (!a.IsNull() && !a.IsNumeric()) || (!b.IsNull() && !b.IsNumeric()) {
+		return Null, fmt.Errorf("non-numeric operand for %q", string(op))
+	}
+	a, okA := coerceNum(a, nav)
+	b, okB := coerceNum(b, nav)
+	if !okA || !okB {
+		return Null, nil
+	}
+	if op == '/' {
+		den := b.Float()
+		if den == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewFloat(a.Float() / den), nil
+	}
+	if a.K == KindInt && b.K == KindInt {
+		switch op {
+		case '+':
+			return NewInt(a.I + b.I), nil
+		case '-':
+			return NewInt(a.I - b.I), nil
+		case '*':
+			return NewInt(a.I * b.I), nil
+		case '%':
+			if b.I == 0 {
+				return Null, fmt.Errorf("division by zero")
+			}
+			return NewInt(a.I % b.I), nil
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch op {
+	case '+':
+		return NewFloat(af + bf), nil
+	case '-':
+		return NewFloat(af - bf), nil
+	case '*':
+		return NewFloat(af * bf), nil
+	case '%':
+		if bf == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewFloat(math.Mod(af, bf)), nil
+	}
+	return Null, fmt.Errorf("unknown arithmetic operator %q", string(op))
+}
+
+// Neg returns -v under the given NAV mode.
+func Neg(v Value, nav NavMode) (Value, error) {
+	if !v.IsNull() && !v.IsNumeric() {
+		return Null, fmt.Errorf("non-numeric operand for unary -")
+	}
+	v, ok := coerceNum(v, nav)
+	if !ok {
+		return Null, nil
+	}
+	if v.K == KindInt {
+		return NewInt(-v.I), nil
+	}
+	return NewFloat(-v.F), nil
+}

@@ -1,0 +1,69 @@
+package types
+
+// Row is a tuple of values. Rows are positionally bound to a Schema.
+type Row []Value
+
+// Clone returns a copy of r that shares no storage with it.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Schema describes the columns of a relation.
+type Schema struct {
+	Cols []Column
+	// byName caches the lowercase name → ordinal mapping.
+	byName map[string]int
+}
+
+// Column is a single named, typed attribute.
+type Column struct {
+	Name string // lowercase canonical name
+	Kind Kind   // declared kind; KindNull means untyped/any
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols}
+	s.reindex()
+	return s
+}
+
+// NewSchemaNames builds an untyped schema from column names.
+func NewSchemaNames(names ...string) *Schema {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = Column{Name: n}
+	}
+	return NewSchema(cols...)
+}
+
+func (s *Schema) reindex() {
+	s.byName = make(map[string]int, len(s.Cols))
+	for i, c := range s.Cols {
+		if _, dup := s.byName[c.Name]; !dup {
+			s.byName[c.Name] = i
+		}
+	}
+}
+
+// Lookup returns the ordinal of the named column, or -1.
+func (s *Schema) Lookup(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	ns := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		ns[i] = c.Name
+	}
+	return ns
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }

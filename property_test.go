@@ -1,0 +1,246 @@
+package sqlsheet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sqlsheet"
+)
+
+// rowsKey flattens a result into a sorted multiset signature.
+func rowsKey(res *sqlsheet.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		var parts []string
+		for _, v := range r {
+			parts = append(parts, v.String())
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameResults(a, b *sqlsheet.Result) bool {
+	ka, kb := rowsKey(a), rowsKey(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomFactDB builds f(r, p, t, s) with a random sparse fill.
+func randomFactDB(t *testing.T, rng *rand.Rand) *sqlsheet.DB {
+	t.Helper()
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	regions := []string{"west", "east", "north"}
+	products := []string{"dvd", "vcr", "tv", "video"}
+	for _, r := range regions {
+		for _, p := range products {
+			for year := 1995; year <= 2002; year++ {
+				if rng.Intn(3) == 0 {
+					continue // sparse
+				}
+				db.MustExec(fmt.Sprintf(`INSERT INTO f VALUES ('%s','%s',%d,%d)`,
+					r, p, year, rng.Intn(100)))
+			}
+		}
+	}
+	return db
+}
+
+// TestOptimizationsPreserveResults is the central optimizer-soundness
+// property: for random data and random outer predicates, the fully
+// optimized pipeline (prune + rewrite + push + pushdown) returns exactly
+// the rows the unoptimized pipeline returns.
+func TestOptimizationsPreserveResults(t *testing.T) {
+	products := []string{"dvd", "vcr", "tv", "video"}
+	regions := []string{"west", "east", "north"}
+	f := func(seed int64, pPick, rPick uint8, yearLo uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomFactDB(t, rng)
+		p1 := products[int(pPick)%len(products)]
+		p2 := products[(int(pPick)+1)%len(products)]
+		r1 := regions[int(rPick)%len(regions)]
+		year := 1996 + int(yearLo)%6
+		q := fmt.Sprintf(`SELECT * FROM
+			(SELECT r, p, t, s FROM f
+			 SPREADSHEET PBY(r) DBY (p, t) MEA (s) UPDATE
+			 (
+			 F1: s['dvd',2001] = s['dvd', 2000]*1.2,
+			 F2: s['vcr',2001] = s['vcr',1998] + s['vcr',1999],
+			 F3: s['tv', 2001] = avg(s)['tv', 1995<t<2001],
+			 F4: s[*, 2002]    = s[cv(p), 2001] + 1
+			 )
+			) v
+			WHERE p IN ('%s', '%s') AND r = '%s' AND t >= %d`,
+			p1, p2, r1, year)
+		opt, err := db.Query(q)
+		if err != nil {
+			t.Logf("optimized: %v", err)
+			return false
+		}
+		db.Configure(sqlsheet.Config{
+			DisableSheetPrune: true, DisableSheetRewrite: true,
+			DisableSheetPush: true, DisableFilterPushdown: true,
+			DisableSingleScan: true, DisableRangeProbe: true,
+		})
+		raw, err := db.Query(q)
+		if err != nil {
+			t.Logf("raw: %v", err)
+			return false
+		}
+		if !sameResults(opt, raw) {
+			t.Logf("mismatch for %s: opt=%d raw=%d rows", q, len(opt.Rows), len(raw.Rows))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelEqualsSerialProperty checks partition-parallel execution on
+// random data, including upserts.
+func TestParallelEqualsSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomFactDB(t, rng)
+		q := `SELECT r, p, t, s FROM f
+			SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+			(
+			  UPSERT s['all', 2002] = sum(s)[p != 'all', t = 2001],
+			  s[*, 2003] = s[cv(p), 2002] * 2
+			)`
+		serial, err := db.Query(q)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		db.Configure(sqlsheet.Config{Parallel: 3, Buckets: 7})
+		par, err := db.Query(q)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return sameResults(serial, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpreadsheetOracle compares point-formula evaluation against a naive
+// in-test interpretation of the same formulas over the same random data.
+func TestSpreadsheetOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// One partition, one dimension: values s[0..9].
+		db := sqlsheet.Open()
+		db.MustExec(`CREATE TABLE t1 (x INT, s FLOAT)`)
+		vals := make([]float64, 10)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(50))
+			db.MustExec(fmt.Sprintf(`INSERT INTO t1 VALUES (%d, %g)`, i, vals[i]))
+		}
+		// Random chain of point formulas evaluated in automatic order.
+		// s[a] = s[b] + s[c]; dependencies resolved by the engine.
+		a, b, c := rng.Intn(5), 5+rng.Intn(5), 5+rng.Intn(5)
+		d := rng.Intn(5)
+		if d == a {
+			d = (a + 1) % 5 // s[d] = s[a] + s[a] must not self-reference
+		}
+		q := fmt.Sprintf(`SELECT x, s FROM t1
+			SPREADSHEET DBY (x) MEA (s) UPDATE
+			( s[%d] = s[%d] + s[%d],
+			  s[%d] = s[%d] * 2 )`, d, a, a, a, b)
+		// Naive oracle: automatic order evaluates s[a]=s[b]*2 first
+		// (the first formula depends on it), then s[d]=s[a]+s[a].
+		want := make([]float64, 10)
+		copy(want, vals)
+		want[a] = want[b] * 2
+		want[d] = want[a] + want[a]
+		_ = c
+		res, err := db.Query(q)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		got := make([]float64, 10)
+		for _, r := range res.Rows {
+			got[r[0].Int()] = r[1].Float()
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("seed %d: s[%d] = %g, want %g (a=%d b=%d d=%d)", seed, i, got[i], want[i], a, b, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryBudgetPreservesResults: spilling must never change answers.
+func TestMemoryBudgetPreservesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := randomFactDB(t, rng)
+	q := `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY(p, t) MEA(s)
+		( s[*, 2002] = avg(s)[cv(p), 1995 <= t <= 2001] )`
+	unbounded, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{500, 2000, 100000} {
+		db.Configure(sqlsheet.Config{MemoryBudget: budget, SpillDir: t.TempDir(), Buckets: 5})
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !sameResults(unbounded, res) {
+			t.Fatalf("budget %d changed results", budget)
+		}
+	}
+}
+
+// TestSequentialVsAutomaticAgreeWhenOrdered: when formulas are listed in
+// dependency order, SEQUENTIAL ORDER and AUTOMATIC ORDER agree.
+func TestSequentialVsAutomaticAgreeWhenOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomFactDB(t, rng)
+		rules := `( s['dvd', 2001] = s['dvd', 2000] + 1,
+			    s['dvd', 2002] = s['dvd', 2001] * 2,
+			    s['dvd', 2003] = s['dvd', 2002] - 3 )`
+		qa := `SELECT r, p, t, s FROM f SPREADSHEET PBY(r) DBY(p, t) MEA(s) ` + rules
+		qs := `SELECT r, p, t, s FROM f SPREADSHEET PBY(r) DBY(p, t) MEA(s) SEQUENTIAL ORDER ` + rules
+		ra, err := db.Query(qa)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rs, err := db.Query(qs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return sameResults(ra, rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package sqlsheet_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViewWithSpreadsheetPrunes(t *testing.T) {
+	// The paper's §4 scenario verbatim: applications encapsulate formulas
+	// in views; user queries over the view prune unneeded formulas.
+	db := newFactDB(t)
+	db.MustExec(`CREATE VIEW forecasts AS
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s) UPDATE
+		(
+		F1: s['dvd',2000] = s['dvd', 1999]*1.2,
+		F2: s['vcr',2000] = s['vcr',1998] + s['vcr',1999],
+		F3: s['tv', 2000] = avg(s)['tv', 1990<t<2000]
+		)`)
+	explain, err := db.Explain(`SELECT * FROM forecasts WHERE p IN ('dvd', 'vcr', 'video')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "pruned formula f3") {
+		t.Errorf("view query did not prune F3:\n%s", explain)
+	}
+	res, err := db.Query(`SELECT p, s FROM forecasts WHERE r = 'west' AND p = 'dvd' AND t = 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// west dvd 1999 = 9 → 10.8.
+	approx(t, res.Rows[0][1], 10.8, "view result")
+	// The view is reusable with different predicates (fresh plan each time).
+	res, err = db.Query(`SELECT p, s FROM forecasts WHERE r = 'west' AND p = 'tv' AND t = 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("second view query rows = %d", len(res.Rows))
+	}
+}
+
+func TestViewWithAggregatesReplans(t *testing.T) {
+	// Views whose MEA items carry aggregates must plan repeatedly without
+	// corrupting the stored AST.
+	db := newFactDB(t)
+	db.MustExec(`CREATE VIEW totals AS
+		SELECT r, t, s FROM f GROUP BY r, t
+		SPREADSHEET PBY(r) DBY (t) MEA (sum(s) s)
+		( UPSERT s[2005] = s[2002] * 2 )`)
+	for i := 0; i < 3; i++ {
+		res, err := db.Query(`SELECT s FROM totals WHERE r = 'west' AND t = 2005`)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		// west 2002 total = 12 + 24 + 36 = 72 → 144.
+		approx(t, res.Rows[0][0], 144, "aggregated view")
+	}
+}
+
+func TestViewErrorsAndDrop(t *testing.T) {
+	db := newFactDB(t)
+	if _, err := db.Exec(`CREATE VIEW v AS SELECT nope FROM f`); err == nil {
+		t.Error("invalid view definition must fail at CREATE")
+	}
+	db.MustExec(`CREATE VIEW v AS SELECT p FROM f`)
+	if _, err := db.Exec(`CREATE VIEW v AS SELECT p FROM f`); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	if _, err := db.Exec(`CREATE TABLE v (a INT)`); err == nil {
+		t.Error("table/view name conflict must fail")
+	}
+	db.MustExec(`DROP VIEW v`)
+	if _, err := db.Query(`SELECT * FROM v`); err == nil {
+		t.Error("dropped view must be gone")
+	}
+	if _, err := db.Exec(`DROP TABLE nonexistent`); err == nil {
+		t.Error("dropping unknown object must fail")
+	}
+}
+
+func TestMaterializedViewFullCycle(t *testing.T) {
+	db := newFactDB(t)
+	db.MustExec(`CREATE MATERIALIZED VIEW mv AS
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2002] )`)
+	res, err := db.Query(`SELECT s FROM mv WHERE r = 'west' AND p = 'video'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// west tv 2002 = 36, vcr 2002 = 24 → 60.
+	approx(t, res.Rows[0][0], 60, "materialized value")
+
+	// No changes: refresh is a no-op.
+	rr := db.MustExec(`REFRESH mv`)
+	if rr.Rows[0][0].String() != "noop" {
+		t.Errorf("refresh mode = %v", rr.Rows[0])
+	}
+
+	// Append new fact rows for ONE partition; refresh must be incremental
+	// and only that partition recomputed.
+	db.MustExec(`INSERT INTO f VALUES ('west', 'tv', 2003, 50, 25), ('west', 'vcr', 2003, 7, 3)`)
+	rr = db.MustExec(`REFRESH mv`)
+	if rr.Rows[0][0].String() != "incremental" {
+		t.Fatalf("refresh mode = %v", rr.Rows[0])
+	}
+	res, err = db.Query(`SELECT p, t, s FROM mv WHERE r = 'west' AND t = 2003 ORDER BY p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("new rows not propagated: %v", res.Rows)
+	}
+	// The untouched east partition must be intact.
+	res, err = db.Query(`SELECT s FROM mv WHERE r = 'east' AND p = 'video'`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("east partition lost: %v %v", res.Rows, err)
+	}
+
+	// Incremental result must equal a full recompute.
+	incr, err := db.Query(`SELECT * FROM mv ORDER BY r, p, t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`REFRESH mv FULL`)
+	full, err := db.Query(`SELECT * FROM mv ORDER BY r, p, t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(incr, full) {
+		t.Fatal("incremental refresh diverged from full recompute")
+	}
+}
+
+func TestMaterializedViewFullFallbacks(t *testing.T) {
+	db := newFactDB(t)
+	db.MustExec(`CREATE TABLE budget (r TEXT, factor FLOAT)`)
+	db.MustExec(`INSERT INTO budget VALUES ('west', 1.5), ('east', 2.0)`)
+	// A reference sheet over a second table: changes to it force a full
+	// refresh.
+	db.MustExec(`CREATE MATERIALIZED VIEW mv2 AS
+		SELECT r, t, s FROM f GROUP BY r, t
+		SPREADSHEET
+		  REFERENCE b ON (SELECT r, factor FROM budget) DBY(r) MEA(factor)
+		  PBY(r) DBY (t) MEA (sum(s) s)
+		( UPSERT s[2005] = s[2002] * factor[cv(r)] )`)
+	before, err := db.Query(`SELECT s FROM mv2 WHERE r = 'west' AND t = 2005`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, before.Rows[0][0], 72*1.5, "mv2 initial")
+
+	db.MustExec(`INSERT INTO budget VALUES ('north', 9.9)`)
+	rr := db.MustExec(`REFRESH mv2`)
+	if rr.Rows[0][0].String() != "full" {
+		t.Errorf("secondary-source change must force full refresh, got %v", rr.Rows[0])
+	}
+
+	// A view without PBY columns always refreshes fully.
+	db.MustExec(`CREATE MATERIALIZED VIEW mv3 AS
+		SELECT t, s FROM f WHERE r = 'west' AND p = 'dvd'
+		SPREADSHEET DBY (t) MEA (s) ( UPSERT s[2005] = 1 )`)
+	db.MustExec(`INSERT INTO f VALUES ('west', 'dvd', 2004, 3, 1)`)
+	rr = db.MustExec(`REFRESH mv3`)
+	if rr.Rows[0][0].String() != "full" {
+		t.Errorf("PBY-less view must refresh fully, got %v", rr.Rows[0])
+	}
+}
+
+func TestMaterializedViewUnknownRefresh(t *testing.T) {
+	db := newFactDB(t)
+	if _, err := db.Exec(`REFRESH nothere`); err == nil {
+		t.Error("refreshing unknown MV must fail")
+	}
+	db.MustExec(`CREATE VIEW pv AS SELECT p FROM f`)
+	if _, err := db.Exec(`REFRESH pv`); err == nil {
+		t.Error("refreshing a plain view must fail")
+	}
+}
+
+func TestMVExactMatchRewrite(t *testing.T) {
+	db := newFactDB(t)
+	db.MustExec(`CREATE MATERIALIZED VIEW mvr AS
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2002] )`)
+
+	q := `SELECT * FROM
+		(SELECT r, p, t, s FROM f
+		 SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		 ( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2002] )) v
+		WHERE p = 'video' ORDER BY r`
+	// Without rewrite: the plan contains a Spreadsheet node.
+	explain, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "Spreadsheet") {
+		t.Fatalf("expected spreadsheet plan:\n%s", explain)
+	}
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With rewrite: the plan scans the MV instead.
+	cfg := db.Options()
+	cfg.EnableMVRewrite = true
+	db.Configure(cfg)
+	explain, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(explain, "Spreadsheet") || !strings.Contains(explain, "Scan mvr") {
+		t.Fatalf("expected MV scan plan:\n%s", explain)
+	}
+	rewritten, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(base, rewritten) {
+		t.Fatal("MV rewrite changed results")
+	}
+
+	// A near-miss definition (different constant) must NOT rewrite.
+	explain, err = db.Explain(`SELECT * FROM
+		(SELECT r, p, t, s FROM f
+		 SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		 ( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2001] )) v
+		WHERE p = 'video'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(explain, "Scan mvr") {
+		t.Fatalf("near-miss must not rewrite:\n%s", explain)
+	}
+}
+
+func TestUpdateForcesFullMVRefresh(t *testing.T) {
+	// An in-place UPDATE leaves the row count unchanged; the version
+	// counter must still force a full (correct) refresh rather than a
+	// stale noop.
+	db := newFactDB(t)
+	db.MustExec(`CREATE MATERIALIZED VIEW um AS
+		SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2002] )`)
+	db.MustExec(`UPDATE f SET s = 1000 WHERE r = 'west' AND p = 'tv' AND t = 2002`)
+	rr := db.MustExec(`REFRESH um`)
+	if rr.Rows[0][0].String() != "full" {
+		t.Fatalf("in-place update must force full refresh, got %v", rr.Rows[0])
+	}
+	res, err := db.Query(`SELECT s FROM um WHERE r = 'west' AND p = 'video'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Rows[0][0], 1024, "refreshed value") // 1000 + vcr 24
+}
