@@ -1,0 +1,30 @@
+# Developer entry points. The tier-1 gate is `make verify`; `make race`
+# additionally runs the race detector over the whole module (the parallel
+# operator, spreadsheet PE and block-store paths are all goroutine-heavy).
+
+GO ?= go
+
+.PHONY: build test verify vet race bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification: everything must build and every test must pass.
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector gate for the concurrent paths (operator worker pools,
+# spreadsheet PEs, spill store). Slower than `make test`; run before merging
+# changes that touch goroutines or shared state.
+race: vet
+	$(GO) test -race ./...
+
+# Morsel-driven operator benchmarks swept across core counts; compare ns/op
+# at -cpu 1 vs 4 (see BENCH_parallel.json for a recorded baseline).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel(Join|GroupBy)' -cpu 1,2,4 -benchmem .

@@ -8,6 +8,7 @@ package sqlsheet_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sqlsheet"
@@ -213,6 +214,52 @@ func BenchmarkWindowVsSpreadsheet(b *testing.B) {
 			 SPREADSHEET PBY(g) DBY (t) MEA (s, ratio) UPDATE
 			 ( ratio[*] = s[cv(t)] / s[cv(t)-1] )) v`)
 	})
+}
+
+// parallelBenchDB builds a synthetic star-schema pair big enough to cross
+// the morsel threshold: a fact table joined to a small dimension. Sized so a
+// full -bench run stays in seconds while the parallel paths dominate.
+func parallelBenchDB(b *testing.B, workers int) *sqlsheet.DB {
+	b.Helper()
+	db := sqlsheet.Open()
+	db.Configure(sqlsheet.Config{Workers: workers})
+	db.MustExec(`CREATE TABLE fact (k INT, g INT, v FLOAT)`)
+	db.MustExec(`CREATE TABLE dim (k INT, name TEXT, w FLOAT)`)
+	const nFact, nDim, nGroups = 120000, 512, 1024
+	rows := make([][]any, 0, nFact)
+	for i := 0; i < nFact; i++ {
+		rows = append(rows, []any{i % nDim, i % nGroups, float64(i%997) * 0.5})
+	}
+	if err := db.Insert("fact", rows...); err != nil {
+		b.Fatal(err)
+	}
+	rows = rows[:0]
+	for i := 0; i < nDim; i++ {
+		rows = append(rows, []any{i, fmt.Sprintf("d%03d", i), float64(i) * 1.25})
+	}
+	if err := db.Insert("dim", rows...); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkParallelJoin measures the morsel-driven hash join (partitioned
+// build + parallel probe). The worker pool follows GOMAXPROCS, so
+//
+//	go test -bench ParallelJoin -cpu 1,2,4
+//
+// sweeps the operator degree of parallelism on identical work.
+func BenchmarkParallelJoin(b *testing.B) {
+	db := parallelBenchDB(b, runtime.GOMAXPROCS(0))
+	runQuery(b, db, `SELECT d.name, f.v * d.w FROM fact f JOIN dim d ON f.k = d.k WHERE f.v > 10`)
+}
+
+// BenchmarkParallelGroupBy measures morsel-parallel partial aggregation with
+// merge (SUM/COUNT/AVG are algebraic, so partials combine). Sweep with
+// -cpu 1,2,4 as above.
+func BenchmarkParallelGroupBy(b *testing.B) {
+	db := parallelBenchDB(b, runtime.GOMAXPROCS(0))
+	runQuery(b, db, `SELECT g, SUM(v), COUNT(*), AVG(v) FROM fact GROUP BY g`)
 }
 
 // BenchmarkAccessPath reproduces the paper's §7 access-method note: the

@@ -20,7 +20,9 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: all, table1, fig2, fig3, fig4, fig5")
 	scaleFlag := flag.String("scale", "default", "dataset scale: small, default, large")
+	workersFlag := flag.Int("workers", 0, "operator worker-pool size applied to every run (0 = serial operators; fig4 sweeps its own)")
 	flag.Parse()
+	experiments.Workers = *workersFlag
 
 	var scale sqlsheet.APBScale
 	switch *scaleFlag {
@@ -105,7 +107,9 @@ func main() {
 		fmt.Println(experiments.FormatSeries(
 			"Figure 4a: scalability with number of formulas (serial)", "# formulas", series[:1]))
 		fmt.Println(experiments.FormatSeries(
-			"Figure 4b: parallel execution (time at max formulas)", "# PEs", series[1:]))
+			"Figure 4b: parallel execution (time at max formulas)", "# PEs", series[1:2]))
+		fmt.Println(experiments.FormatSeries(
+			"Figure 4c: morsel-parallel self-joins (time at max formulas)", "# workers", series[2:]))
 		return nil
 	})
 

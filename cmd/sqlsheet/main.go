@@ -11,6 +11,7 @@
 //
 //	\d               list tables
 //	\explain <sql>   show the optimized plan
+//	\analyze <sql>   run the query and show the plan + operator stats
 //	\load <table> <file.csv>
 //	\q               quit
 package main
@@ -29,12 +30,14 @@ func main() {
 	file := flag.String("f", "", "run the given SQL script and exit")
 	apb := flag.Bool("apb", false, "preload the APB benchmark dataset")
 	parallel := flag.Int("parallel", 0, "spreadsheet degree of parallelism")
+	workers := flag.Int("workers", 1, "operator worker-pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	db := sqlsheet.Open()
-	if *parallel > 0 {
+	if *parallel > 0 || *workers != 1 {
 		cfg := db.Options()
 		cfg.Parallel = *parallel
+		cfg.Workers = *workers
 		db.Configure(cfg)
 	}
 	if *apb {
@@ -120,6 +123,15 @@ func meta(db *sqlsheet.DB, line string) bool {
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
 		sql = strings.TrimSuffix(sql, ";")
 		out, err := db.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(out)
+	case "\\analyze":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\analyze"))
+		sql = strings.TrimSuffix(sql, ";")
+		out, err := db.ExplainAnalyze(sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			return true

@@ -77,6 +77,17 @@ const (
 type Config struct {
 	// Parallel is the spreadsheet degree of parallelism (number of PEs).
 	Parallel int
+	// Workers is the operator worker-pool size for morsel-driven parallel
+	// relational operators (filter, project, hash join, group-by): 0 = one
+	// worker per CPU core, 1 = serial operators. Results are row-for-row
+	// identical to serial execution for any setting. The pool and the
+	// spreadsheet PEs share one core budget of max(Workers, Parallel), so
+	// combining both cannot oversubscribe the host.
+	Workers int
+	// MorselSize overrides the operator morsel size in rows (0 = 1024).
+	// Mainly for tests; results do depend on it for floating-point group-bys
+	// (partials merge in morsel order), so keep it fixed when comparing runs.
+	MorselSize int
 	// Buckets overrides the number of first-level hash partitions (0 =
 	// automatic).
 	Buckets int
@@ -195,6 +206,45 @@ func (db *DB) QueryStats(sql string) (*Result, blockstore.Stats, error) {
 	return wrapResult(res), ex.SheetStats, nil
 }
 
+// OpStats re-exports the per-operator execution statistics collected by the
+// morsel-driven parallel operators (rows, morsels, workers, elapsed time).
+type OpStats = exec.Stats
+
+// QueryOpStats runs a query and also returns the per-operator parallel
+// execution statistics. Operators that ran serially (input below the morsel
+// threshold, or not parallelizable) do not appear.
+func (db *DB) QueryOpStats(sql string) (*Result, OpStats, error) {
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, OpStats{}, err
+	}
+	ex := db.newExecutor()
+	res, err := ex.ExecStatement(stmt)
+	if err != nil {
+		return nil, OpStats{}, err
+	}
+	return wrapResult(res), ex.ExecStats, nil
+}
+
+// ExplainAnalyze executes the query and returns the optimized plan followed
+// by the per-operator parallel execution statistics (EXPLAIN ANALYZE style).
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	ex := db.newExecutor()
+	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+	if err != nil {
+		return "", err
+	}
+	text := plan.Explain(p)
+	if _, err := ex.Execute(p, nil); err != nil {
+		return "", err
+	}
+	return text + "\nexecution:\n" + ex.ExecStats.String(), nil
+}
+
 // Explain returns the optimized plan of a query as indented text, including
 // spreadsheet analysis (levels, pruned formulas, pushed predicates).
 func (db *DB) Explain(sql string) (string, error) {
@@ -306,6 +356,8 @@ func (db *DB) newExecutor() *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
 		Parallel:          o.Parallel,
+		Workers:           o.Workers,
+		MorselSize:        o.MorselSize,
 		Buckets:           o.Buckets,
 		MemoryBudget:      o.MemoryBudget,
 		SpillDir:          o.SpillDir,
@@ -321,6 +373,7 @@ func (db *DB) newExecutor() *exec.Executor {
 		DisableSheetPush:       o.DisableSheetPush,
 		DisableFilterPushdown:  o.DisableFilterPushdown,
 		Parallel:               o.Parallel,
+		Workers:                o.Workers,
 		PromoteIndependentDims: o.PromoteIndependentDims,
 		EnableMVRewrite:        o.EnableMVRewrite,
 		Exec:                   ex,

@@ -46,6 +46,28 @@ type Agg interface {
 	Reset()
 }
 
+// Merger is implemented by aggregates whose partial states combine: the
+// invertible (algebraic) aggregates SUM, COUNT, AVG and SLOPE. The parallel
+// group-by computes per-morsel partials and merges them in morsel order;
+// holistic aggregates without a Merge (MIN/MAX) keep the serial path, the
+// same restriction the paper applies to single-scan aggregate maintenance.
+type Merger interface {
+	// Merge folds other — an accumulator of the same concrete type — into
+	// the receiver.
+	Merge(other Agg)
+}
+
+// Mergeable reports whether name's accumulator supports partial-state
+// merging (and so can participate in parallel partial aggregation).
+func Mergeable(name string) bool {
+	a, err := New(name, false)
+	if err != nil {
+		return false
+	}
+	_, ok := a.(Merger)
+	return ok
+}
+
 // New constructs an aggregate accumulator. star marks COUNT(*).
 func New(name string, star bool) (Agg, error) {
 	switch name {
@@ -99,6 +121,14 @@ func (a *sumAgg) Remove(vals ...types.Value) {
 
 func (a *sumAgg) Invertible() bool { return true }
 
+func (a *sumAgg) Merge(other Agg) {
+	b := other.(*sumAgg)
+	a.n += b.n
+	a.isum += b.isum
+	a.fsum += b.fsum
+	a.sawFloat = a.sawFloat || b.sawFloat
+}
+
 func (a *sumAgg) Result() types.Value {
 	if a.n == 0 {
 		return types.Null
@@ -130,6 +160,7 @@ func (a *countAgg) Remove(vals ...types.Value) {
 }
 
 func (a *countAgg) Invertible() bool    { return true }
+func (a *countAgg) Merge(other Agg)     { a.n += other.(*countAgg).n }
 func (a *countAgg) Result() types.Value { return types.NewInt(a.n) }
 func (a *countAgg) Reset()              { a.n = 0 }
 
@@ -158,6 +189,12 @@ func (a *avgAgg) Remove(vals ...types.Value) {
 }
 
 func (a *avgAgg) Invertible() bool { return true }
+
+func (a *avgAgg) Merge(other Agg) {
+	b := other.(*avgAgg)
+	a.n += b.n
+	a.sum += b.sum
+}
 
 func (a *avgAgg) Result() types.Value {
 	if a.n == 0 {
@@ -247,6 +284,15 @@ func (a *slopeAgg) Remove(vals ...types.Value) {
 }
 
 func (a *slopeAgg) Invertible() bool { return true }
+
+func (a *slopeAgg) Merge(other Agg) {
+	b := other.(*slopeAgg)
+	a.n += b.n
+	a.sx += b.sx
+	a.sy += b.sy
+	a.sxy += b.sxy
+	a.sxx += b.sxx
+}
 
 func (a *slopeAgg) Result() types.Value {
 	den := float64(a.n)*a.sxx - a.sx*a.sx

@@ -15,6 +15,7 @@ package blockstore
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"sqlsheet/internal/types"
 )
@@ -52,6 +53,9 @@ type Stats struct {
 }
 
 // MemStore is the unbounded in-memory store used when the partition fits.
+// Get and Len are safe for concurrent use once writes have stopped (reads
+// mutate nothing); interleaving Append/Set with other calls still requires
+// external synchronization, as with any Go slice.
 type MemStore struct {
 	rows []types.Row
 }
@@ -102,9 +106,14 @@ type block struct {
 	hits     int64
 }
 
-// SpillStore is a byte-budgeted store backed by a spill file. It is not safe
-// for concurrent use; the engine gives each processing element its own store.
+// SpillStore is a byte-budgeted store backed by a spill file. The engine
+// gives each processing element its own store, but reads are not naturally
+// concurrency-safe the way MemStore's are — even Get mutates LRU bookkeeping
+// and may evict or reload blocks — so every method takes an internal mutex.
+// Callers must still honor the Store contract of not retaining a Get result
+// across other store calls.
 type SpillStore struct {
+	mu       sync.Mutex
 	cfg      Config
 	blocks   []*block
 	resident int64 // bytes of resident blocks
@@ -126,6 +135,8 @@ func NewSpill(cfg Config) *SpillStore {
 
 // Append implements Store.
 func (s *SpillStore) Append(row types.Row) RowID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := len(s.blocks)
 	if n == 0 || len(s.lastBlockRows()) >= s.cfg.RowsPerBlock {
 		s.blocks = append(s.blocks, &block{rows: make([]types.Row, 0, s.cfg.RowsPerBlock)})
@@ -158,6 +169,8 @@ func (s *SpillStore) lastBlockRows() []types.Row {
 
 // Get implements Store.
 func (s *SpillStore) Get(id RowID) types.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b := s.blocks[id.Block]
 	if b.rows == nil {
 		s.load(id.Block)
@@ -169,6 +182,8 @@ func (s *SpillStore) Get(id RowID) types.Row {
 
 // Set implements Store.
 func (s *SpillStore) Set(id RowID, row types.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b := s.blocks[id.Block]
 	if b.rows == nil {
 		s.load(id.Block)
@@ -184,13 +199,23 @@ func (s *SpillStore) Set(id RowID, row types.Row) {
 }
 
 // Len implements Store.
-func (s *SpillStore) Len() int { return s.nrows }
+func (s *SpillStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nrows
+}
 
 // Stats implements Store.
-func (s *SpillStore) Stats() Stats { return s.stats }
+func (s *SpillStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Close removes the spill file.
 func (s *SpillStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.file == nil {
 		return nil
 	}

@@ -3,6 +3,7 @@ package blockstore
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -215,5 +216,54 @@ func TestHotBlockSurvives(t *testing.T) {
 	// it was probed.
 	if loads := s.Stats().BlockLoads; loads > 200 {
 		t.Errorf("hot block thrashing: %d loads", loads)
+	}
+}
+
+// TestConcurrentGets exercises concurrent readers under the race detector.
+// MemStore reads are naturally safe (nothing mutates); SpillStore reads
+// mutate LRU state and trigger evictions/reloads, so they rely on the
+// store's internal mutex. Run with -race to make this meaningful.
+func TestConcurrentGets(t *testing.T) {
+	const nRows = 400
+	stores := map[string]Store{
+		"mem": NewMem(),
+		"spill": NewSpill(Config{
+			BudgetBytes:  2048, // force constant eviction/reload churn
+			RowsPerBlock: 8,
+			Dir:          t.TempDir(),
+		}),
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			ids := make([]RowID, nRows)
+			for i := 0; i < nRows; i++ {
+				ids[i] = s.Append(row(i, fmt.Sprintf("val-%d", i)))
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < 500; i++ {
+						j := rng.Intn(nRows)
+						got := s.Get(ids[j])
+						if want := int64(j); got[0].I != want {
+							t.Errorf("Get(%d) = %v, want %d", j, got[0], want)
+							return
+						}
+						if s.Len() != nRows {
+							t.Errorf("Len = %d, want %d", s.Len(), nRows)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			s.Stats()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

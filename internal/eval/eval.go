@@ -6,11 +6,18 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 
 	"sqlsheet/internal/sqlast"
 	"sqlsheet/internal/types"
 )
+
+// ErrUnknownColumn is the sentinel wrapped by every unresolved-column
+// failure (here and in the planner's resolution check). The executor's
+// dynamic correlated-subquery detection tests for it with errors.Is, so
+// wrapped errors cannot be misclassified the way substring matching could.
+var ErrUnknownColumn = errors.New("unknown column")
 
 // Context carries everything an expression needs at evaluation time.
 type Context struct {
@@ -28,6 +35,23 @@ type Context struct {
 
 	// Subquery executes nested queries; nil makes subqueries an error.
 	Subquery SubqueryRunner
+}
+
+// Clone returns a copy of c with its own Binding, so a parallel worker can
+// bind rows independently of other workers. The hooks and subquery runner
+// are shared, not copied — implementations handed to concurrent workers
+// must be safe for concurrent use (the relational executor's runner is
+// mutex-guarded; the spreadsheet hooks are per-frame and never shared).
+// The outer (parent) binding chain is shared too: workers only ever read
+// it, never rebind it.
+func (c *Context) Clone() *Context {
+	nc := *c
+	if c.Binding != nil {
+		b := *c.Binding
+		b.Row = nil
+		nc.Binding = &b
+	}
+	return &nc
 }
 
 // SubqueryRunner executes subqueries with access to the outer binding for
@@ -139,9 +163,9 @@ func (b *Binding) Lookup(table, name string) (types.Value, error) {
 		}
 	}
 	if table != "" {
-		return types.Null, fmt.Errorf("unknown column %q.%q", table, name)
+		return types.Null, fmt.Errorf("%w %q.%q", ErrUnknownColumn, table, name)
 	}
-	return types.Null, fmt.Errorf("unknown column %q", name)
+	return types.Null, fmt.Errorf("%w %q", ErrUnknownColumn, name)
 }
 
 // Eval computes the value of e under ctx.

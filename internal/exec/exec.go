@@ -21,6 +21,16 @@ import (
 type Options struct {
 	// Parallel is the spreadsheet degree of parallelism (PE count).
 	Parallel int
+	// Workers is the operator worker-pool size for morsel-driven parallel
+	// relational operators (filter, project, hash join, group-by).
+	// 0 = runtime.NumCPU(); 1 = serial operators. The pool and the
+	// spreadsheet PEs share one core budget of max(Workers, Parallel).
+	Workers int
+	// MorselSize overrides the operator morsel size in rows (0 = 1024).
+	// Morsel boundaries — and therefore result bytes, floating-point
+	// accumulation included — depend only on this and the input size,
+	// never on Workers.
+	MorselSize int
 	// Buckets overrides the number of first-level hash partitions.
 	Buckets int
 	// MemoryBudget bounds each first-level partition's resident bytes;
@@ -58,13 +68,19 @@ type Executor struct {
 	subCorrel map[*sqlast.SelectStmt]bool
 	subSets   map[*sqlast.SelectStmt]*valSet
 
+	// bud is the shared core budget drawn on by operator worker pools and
+	// spreadsheet PEs alike (see parallel.go).
+	bud *budget
+
 	// SheetStats accumulates access-structure I/O from spreadsheet nodes.
 	SheetStats blockstore.Stats
+	// ExecStats accumulates per-operator parallel execution measurements.
+	ExecStats Stats
 }
 
 // New creates an executor over a catalog.
 func New(cat *catalog.Catalog, opts Options) *Executor {
-	return &Executor{
+	ex := &Executor{
 		Cat:       cat,
 		Opts:      opts,
 		cteCache:  map[*plan.CTEDef]*Result{},
@@ -73,6 +89,14 @@ func New(cat *catalog.Catalog, opts Options) *Executor {
 		subCorrel: map[*sqlast.SelectStmt]bool{},
 		subSets:   map[*sqlast.SelectStmt]*valSet{},
 	}
+	// One budget for the whole statement: the larger of the two requested
+	// degrees, minus the coordinating goroutine itself.
+	total := ex.workers()
+	if opts.Parallel > total {
+		total = opts.Parallel
+	}
+	ex.bud = newBudget(total - 1)
+	return ex
 }
 
 // Execute runs a plan node. outer supplies correlation bindings for
@@ -182,6 +206,33 @@ func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter s
 		copy(rows, src)
 		return &Result{Schema: schema, Rows: rows}, nil
 	}
+	// Morsel-parallel path. Predicates containing subqueries stay serial:
+	// parallel workers must not race the correlated-subquery detection or
+	// execute shared subquery plans (and their Models) concurrently.
+	if nm := ex.morselCount(len(src)); nm > 0 && !sqlast.HasSubquery(filter) {
+		parts := make([][]types.Row, nm)
+		wc := ex.workerCtxs(schema, outer)
+		_, err := ex.forEachMorsel("filter", len(src), func(w int, m morsel) error {
+			ctx := wc.get(w)
+			var out []types.Row
+			for _, r := range src[m.Lo:m.Hi] {
+				ctx.Binding.Row = r
+				ok, err := eval.EvalBool(ctx, filter)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out = append(out, r)
+				}
+			}
+			parts[m.Idx] = out
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: schema, Rows: stitch(parts)}, nil
+	}
 	ctx := ex.ctx(schema, nil, outer)
 	var rows []types.Row
 	for _, r := range src {
@@ -210,21 +261,50 @@ func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	projectMorsel := func(ctx *eval.Context, rows []types.Row, m morsel) error {
+		for i := m.Lo; i < m.Hi; i++ {
+			ctx.Binding.Row = in.Rows[i]
+			out := make(types.Row, len(n.Exprs))
+			for j, e := range n.Exprs {
+				v, err := eval.Eval(ctx, e)
+				if err != nil {
+					return err
+				}
+				out[j] = v
+			}
+			rows[i] = out
+		}
+		return nil
+	}
+	// Morsel-parallel path: output slots are preallocated, each worker
+	// writes disjoint indices, so row order is trivially preserved.
+	if nm := ex.morselCount(len(in.Rows)); nm > 0 && !anyHasSubquery(n.Exprs) {
+		rows := make([]types.Row, len(in.Rows))
+		wc := ex.workerCtxs(in.Schema, outer)
+		if _, err := ex.forEachMorsel("project", len(in.Rows), func(w int, m morsel) error {
+			return projectMorsel(wc.get(w), rows, m)
+		}); err != nil {
+			return nil, err
+		}
+		return &Result{Schema: n.Schema(), Rows: rows}, nil
+	}
 	ctx := ex.ctx(in.Schema, nil, outer)
 	rows := make([]types.Row, len(in.Rows))
-	for i, r := range in.Rows {
-		ctx.Binding.Row = r
-		out := make(types.Row, len(n.Exprs))
-		for j, e := range n.Exprs {
-			v, err := eval.Eval(ctx, e)
-			if err != nil {
-				return nil, err
-			}
-			out[j] = v
-		}
-		rows[i] = out
+	if err := projectMorsel(ctx, rows, morsel{Lo: 0, Hi: len(in.Rows)}); err != nil {
+		return nil, err
 	}
 	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}
+
+// anyHasSubquery reports whether any expression contains a subquery; such
+// operators keep the serial path (see scanRows).
+func anyHasSubquery(es []sqlast.Expr) bool {
+	for _, e := range es {
+		if sqlast.HasSubquery(e) {
+			return true
+		}
+	}
+	return false
 }
 
 func (ex *Executor) execSort(n *plan.Sort, outer *eval.Binding) (*Result, error) {

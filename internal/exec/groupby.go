@@ -7,54 +7,56 @@ import (
 	"sqlsheet/internal/types"
 )
 
-// execGroupBy hash-aggregates the input. Output rows carry the key values
-// followed by the aggregate results, in the node's schema order. With no
-// grouping keys the result is a single row even over empty input (global
-// aggregation).
-func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, error) {
-	in, err := ex.Execute(n.Input, outer)
-	if err != nil {
-		return nil, err
-	}
-	ctx := ex.ctx(in.Schema, nil, outer)
+// group accumulates one grouping key's aggregate states.
+type group struct {
+	keys types.Row
+	accs []aggs.Agg
+}
 
-	type group struct {
-		keys types.Row
-		accs []aggs.Agg
-	}
-	newGroup := func(keys types.Row) (*group, error) {
-		g := &group{keys: keys, accs: make([]aggs.Agg, len(n.Aggs))}
-		for i, spec := range n.Aggs {
-			a, err := aggs.New(spec.Call.Name, spec.Call.Star)
-			if err != nil {
-				return nil, err
-			}
-			g.accs[i] = a
+func newGroup(n *plan.GroupBy, keys types.Row) (*group, error) {
+	g := &group{keys: keys, accs: make([]aggs.Agg, len(n.Aggs))}
+	for i, spec := range n.Aggs {
+		a, err := aggs.New(spec.Call.Name, spec.Call.Star)
+		if err != nil {
+			return nil, err
 		}
-		return g, nil
+		g.accs[i] = a
 	}
+	return g, nil
+}
 
-	groups := map[string]*group{}
-	var order []string // deterministic output: first-seen order
-	for _, row := range in.Rows {
+// groupAcc is a hash-aggregation table preserving first-seen group order.
+type groupAcc struct {
+	groups map[string]*group
+	order  []string
+}
+
+func newGroupAcc() *groupAcc {
+	return &groupAcc{groups: map[string]*group{}}
+}
+
+// addRows aggregates rows [lo, hi) of in into acc.
+func (acc *groupAcc) addRows(n *plan.GroupBy, ctx *eval.Context, in *Result, lo, hi int) error {
+	for _, row := range in.Rows[lo:hi] {
 		ctx.Binding.Row = row
 		keys := make(types.Row, len(n.Keys))
 		for i, k := range n.Keys {
 			v, err := eval.Eval(ctx, k)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keys[i] = v
 		}
 		gk := types.Key(keys...)
-		g := groups[gk]
+		g := acc.groups[gk]
 		if g == nil {
-			g, err = newGroup(keys)
+			var err error
+			g, err = newGroup(n, keys)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			groups[gk] = g
-			order = append(order, gk)
+			acc.groups[gk] = g
+			acc.order = append(acc.order, gk)
 		}
 		for i, spec := range n.Aggs {
 			if spec.Call.Star {
@@ -65,30 +67,117 @@ func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, 
 			for j, arg := range spec.Call.Args {
 				v, err := eval.Eval(ctx, arg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				vals[j] = v
 			}
 			g.accs[i].Add(vals...)
 		}
 	}
-	if len(n.Keys) == 0 && len(groups) == 0 {
-		g, err := newGroup(nil)
+	return nil
+}
+
+// rows renders the accumulated groups in first-seen order, applying the
+// SQL global-aggregation rule (one row even over empty input when there are
+// no grouping keys).
+func (acc *groupAcc) rows(n *plan.GroupBy) ([]types.Row, error) {
+	if len(n.Keys) == 0 && len(acc.groups) == 0 {
+		g, err := newGroup(n, nil)
 		if err != nil {
 			return nil, err
 		}
-		groups[""] = g
-		order = append(order, "")
+		acc.groups[""] = g
+		acc.order = append(acc.order, "")
 	}
-	rows := make([]types.Row, 0, len(order))
-	for _, gk := range order {
-		g := groups[gk]
+	rows := make([]types.Row, 0, len(acc.order))
+	for _, gk := range acc.order {
+		g := acc.groups[gk]
 		row := make(types.Row, 0, len(n.Keys)+len(n.Aggs))
 		row = append(row, g.keys...)
 		for _, a := range g.accs {
 			row = append(row, a.Result())
 		}
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// groupByParallelizable reports whether every aggregate supports partial-
+// state merging and no expression hides a subquery. Holistic aggregates
+// (MIN/MAX have no inverse and no Merge) keep the serial path.
+func groupByParallelizable(n *plan.GroupBy) bool {
+	for _, spec := range n.Aggs {
+		if !aggs.Mergeable(spec.Call.Name) {
+			return false
+		}
+		if anyHasSubquery(spec.Call.Args) {
+			return false
+		}
+	}
+	return !anyHasSubquery(n.Keys)
+}
+
+// execGroupBy hash-aggregates the input. Output rows carry the key values
+// followed by the aggregate results, in the node's schema order, groups in
+// first-seen input order.
+//
+// Large inputs take the morsel path: each morsel builds a partial
+// aggregation table, and partials are merged in morsel order. Because
+// morsel boundaries and the merge order depend only on the input size —
+// never on the worker count — the result (floating-point accumulation
+// included) is bit-identical for every Workers setting.
+func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, error) {
+	in, err := ex.Execute(n.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	if nm := ex.morselCount(len(in.Rows)); nm > 0 && groupByParallelizable(n) {
+		partials := make([]*groupAcc, nm)
+		wc := ex.workerCtxs(in.Schema, outer)
+		if _, err := ex.forEachMorsel("group-by", len(in.Rows), func(w int, m morsel) error {
+			acc := newGroupAcc()
+			if err := acc.addRows(n, wc.get(w), in, m.Lo, m.Hi); err != nil {
+				return err
+			}
+			partials[m.Idx] = acc
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Merge partials in morsel order. Iterating each partial's own
+		// first-seen order recovers the global first-seen order: a group's
+		// first occurrence lies in the earliest morsel containing it.
+		global := newGroupAcc()
+		for _, p := range partials {
+			for _, gk := range p.order {
+				pg := p.groups[gk]
+				g := global.groups[gk]
+				if g == nil {
+					global.groups[gk] = pg
+					global.order = append(global.order, gk)
+					continue
+				}
+				for i := range g.accs {
+					g.accs[i].(aggs.Merger).Merge(pg.accs[i])
+				}
+			}
+		}
+		rows, err := global.rows(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: n.Schema(), Rows: rows}, nil
+	}
+
+	acc := newGroupAcc()
+	ctx := ex.ctx(in.Schema, nil, outer)
+	if err := acc.addRows(n, ctx, in, 0, len(in.Rows)); err != nil {
+		return nil, err
+	}
+	rows, err := acc.rows(n)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Schema: n.Schema(), Rows: rows}, nil
 }

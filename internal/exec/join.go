@@ -60,16 +60,71 @@ func evalKeys(ctx *eval.Context, row types.Row, keys []sqlast.Expr) (string, boo
 	return string(buf), true, nil
 }
 
-func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*Result, error) {
-	// Build on the right side except for RIGHT OUTER, which builds left and
-	// probes right so the preserved side drives the output.
-	buildRes, probeRes := r, l
-	buildKeys, probeKeys := n.RightKeys, n.LeftKeys
-	probeIsLeft := true
-	if n.Type == sqlast.JoinRight {
-		buildRes, probeRes = l, r
-		buildKeys, probeKeys = n.LeftKeys, n.RightKeys
-		probeIsLeft = false
+// joinTable is the hash-join build side: one map when built serially, or N
+// hash-partitioned maps (partition = fnv32a(key)%N) when built in parallel,
+// so build workers never share a write target and probes stay lock-free.
+// Row-index lists are always in ascending row order — identical to the
+// serial build — so probe output order matches the serial engine exactly.
+type joinTable struct {
+	parts []map[string][]int
+}
+
+func (t *joinTable) lookup(k string) []int {
+	if len(t.parts) == 1 {
+		return t.parts[0][k]
+	}
+	return t.parts[fnv32a(k)%uint32(len(t.parts))][k]
+}
+
+// joinEntry is one build row's key, staged during the partition phase.
+type joinEntry struct {
+	key string
+	row int
+}
+
+// buildJoinTable hashes the build side. Large inputs run the morsel-parallel
+// two-phase build: workers first partition each morsel's keys by
+// fnv32a(key)%N into per-morsel buckets, then N partition tasks assemble
+// their hash table by draining the buckets in morsel order (keeping row
+// indices ascending). No global lock is ever taken.
+func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, outer *eval.Binding) (*joinTable, error) {
+	nm := ex.morselCount(len(buildRes.Rows))
+	if nm > 0 && !anyHasSubquery(buildKeys) {
+		np := ex.workers()
+		staged := make([][][]joinEntry, nm) // [morsel][partition][]entry
+		wc := ex.workerCtxs(buildRes.Schema, outer)
+		if _, err := ex.forEachMorsel("join-build", len(buildRes.Rows), func(w int, m morsel) error {
+			ctx := wc.get(w)
+			local := make([][]joinEntry, np)
+			for i := m.Lo; i < m.Hi; i++ {
+				k, ok, err := evalKeys(ctx, buildRes.Rows[i], buildKeys)
+				if err != nil {
+					return err
+				}
+				if ok {
+					p := fnv32a(k) % uint32(np)
+					local[p] = append(local[p], joinEntry{key: k, row: i})
+				}
+			}
+			staged[m.Idx] = local
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		parts := make([]map[string][]int, np)
+		if err := ex.parallelN(np, func(p int) error {
+			mp := make(map[string][]int, len(buildRes.Rows)/np+1)
+			for _, local := range staged {
+				for _, e := range local[p] {
+					mp[e.key] = append(mp[e.key], e.row)
+				}
+			}
+			parts[p] = mp
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return &joinTable{parts: parts}, nil
 	}
 
 	bctx := ex.ctx(buildRes.Schema, nil, outer)
@@ -83,12 +138,28 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 			table[k] = append(table[k], i)
 		}
 	}
+	return &joinTable{parts: []map[string][]int{table}}, nil
+}
+
+func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*Result, error) {
+	// Build on the right side except for RIGHT OUTER, which builds left and
+	// probes right so the preserved side drives the output.
+	buildRes, probeRes := r, l
+	buildKeys, probeKeys := n.RightKeys, n.LeftKeys
+	probeIsLeft := true
+	if n.Type == sqlast.JoinRight {
+		buildRes, probeRes = l, r
+		buildKeys, probeKeys = n.LeftKeys, n.RightKeys
+		probeIsLeft = false
+	}
+
+	table, err := ex.buildJoinTable(buildRes, buildKeys, outer)
+	if err != nil {
+		return nil, err
+	}
 
 	lw, rw := len(l.Schema.Cols), len(r.Schema.Cols)
 	combined := n.Schema()
-	cctx := ex.ctx(combined, nil, outer)
-	pctx := ex.ctx(probeRes.Schema, nil, outer)
-	var out []types.Row
 	combine := func(probe, build types.Row) types.Row {
 		row := make(types.Row, 0, lw+rw)
 		if probeIsLeft {
@@ -101,36 +172,70 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	nullSide := func(w int) types.Row { return make(types.Row, w) }
 	preserve := n.Type == sqlast.JoinLeft || n.Type == sqlast.JoinRight
 
-	for _, probe := range probeRes.Rows {
-		k, ok, err := evalKeys(pctx, probe, probeKeys)
-		if err != nil {
+	// probeMorsel probes one row range against the (now read-only) table.
+	// Each probe row's matches arrive in ascending build-row order, and
+	// outer-join preservation is decided per probe row, so per-morsel
+	// outputs stitched in morsel order equal the serial output exactly.
+	probeMorsel := func(pctx, cctx *eval.Context, m morsel) ([]types.Row, error) {
+		var out []types.Row
+		for i := m.Lo; i < m.Hi; i++ {
+			probe := probeRes.Rows[i]
+			k, ok, err := evalKeys(pctx, probe, probeKeys)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			if ok {
+				for _, bi := range table.lookup(k) {
+					row := combine(probe, buildRes.Rows[bi])
+					if n.Residual != nil {
+						cctx.Binding.Row = row
+						pass, err := eval.EvalBool(cctx, n.Residual)
+						if err != nil {
+							return nil, err
+						}
+						if !pass {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, row)
+				}
+			}
+			if !matched && preserve {
+				if probeIsLeft {
+					out = append(out, combine(probe, nullSide(rw)))
+				} else {
+					out = append(out, combine(probe, nullSide(lw)))
+				}
+			}
+		}
+		return out, nil
+	}
+
+	nm := ex.morselCount(len(probeRes.Rows))
+	if nm > 0 && !anyHasSubquery(probeKeys) && !sqlast.HasSubquery(n.Residual) {
+		parts := make([][]types.Row, nm)
+		pwc := ex.workerCtxs(probeRes.Schema, outer)
+		cwc := ex.workerCtxs(combined, outer)
+		if _, err := ex.forEachMorsel("join-probe", len(probeRes.Rows), func(w int, m morsel) error {
+			out, err := probeMorsel(pwc.get(w), cwc.get(w), m)
+			if err != nil {
+				return err
+			}
+			parts[m.Idx] = out
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		matched := false
-		if ok {
-			for _, bi := range table[k] {
-				row := combine(probe, buildRes.Rows[bi])
-				if n.Residual != nil {
-					cctx.Binding.Row = row
-					pass, err := eval.EvalBool(cctx, n.Residual)
-					if err != nil {
-						return nil, err
-					}
-					if !pass {
-						continue
-					}
-				}
-				matched = true
-				out = append(out, row)
-			}
-		}
-		if !matched && preserve {
-			if probeIsLeft {
-				out = append(out, combine(probe, nullSide(rw)))
-			} else {
-				out = append(out, combine(probe, nullSide(lw)))
-			}
-		}
+		return &Result{Schema: combined, Rows: stitch(parts)}, nil
+	}
+
+	pctx := ex.ctx(probeRes.Schema, nil, outer)
+	cctx := ex.ctx(combined, nil, outer)
+	out, err := probeMorsel(pctx, cctx, morsel{Lo: 0, Hi: len(probeRes.Rows)})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Schema: combined, Rows: out}, nil
 }

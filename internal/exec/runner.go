@@ -1,8 +1,8 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 
 	"sqlsheet/internal/eval"
 	"sqlsheet/internal/plan"
@@ -49,7 +49,7 @@ func (r *runner) result(sub *sqlast.SelectStmt, outer *eval.Binding) (*Result, e
 			ex.mu.Unlock()
 			return res, nil
 		}
-		if !strings.Contains(err.Error(), "unknown column") {
+		if !errors.Is(err, eval.ErrUnknownColumn) {
 			return nil, err
 		}
 		ex.mu.Lock()

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/core"
 	"sqlsheet/internal/eval"
@@ -36,12 +38,24 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 			return blockstore.NewSpill(blockstore.Config{BudgetBytes: budget, Dir: dir, RowsPerBlock: 16})
 		}
 	}
+	// Bucket choice uses the requested PE count so partitioning (and
+	// result row order) stays deterministic regardless of budget grants.
 	buckets := ex.Opts.Buckets
 	if buckets <= 0 {
 		buckets = core.ChooseBuckets(len(in.Rows), 64, ex.Opts.MemoryBudget, ex.Opts.Parallel)
 	}
+	// Spreadsheet PEs draw from the same core budget as the operator worker
+	// pools, so Workers>1 plus Parallel>1 cannot oversubscribe the host:
+	// PE goroutines beyond the coordinator need a token each.
+	par := ex.Opts.Parallel
+	granted := 0
+	if par > 1 {
+		granted = ex.bud.tryAcquire(par - 1)
+		par = 1 + granted
+	}
+	start := time.Now()
 	rows, stats, err := n.Model.Run(in.Rows, core.RunOptions{
-		Parallel:          ex.Opts.Parallel,
+		Parallel:          par,
 		Buckets:           buckets,
 		NewStore:          newStore,
 		Subquery:          &runner{ex: ex},
@@ -50,6 +64,10 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		DisableRangeProbe: ex.Opts.DisableRangeProbe,
 		UseBTreeIndex:     ex.Opts.UseBTreeIndex,
 	})
+	ex.bud.release(granted)
+	if ex.Opts.Parallel > 1 {
+		ex.recordOp(OpStat{Op: "spreadsheet", Rows: len(in.Rows), Workers: par, Elapsed: time.Since(start)})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,18 @@ var (
 	}
 )
 
+// Workers, when non-zero, sets the operator worker-pool size on every
+// configuration the experiments apply (cmd/experiments -workers). It layers
+// morsel-driven operator parallelism on top of whatever each figure varies;
+// results are unchanged, only timings move.
+var Workers int
+
+// withWorkers applies the package-level Workers override to a configuration.
+func withWorkers(cfg sqlsheet.Config) sqlsheet.Config {
+	cfg.Workers = Workers
+	return cfg
+}
+
 // Setup creates a database with the APB dataset installed.
 func Setup(scale sqlsheet.APBScale) (*sqlsheet.DB, sqlsheet.APBInfo, error) {
 	db := sqlsheet.Open()
@@ -212,7 +224,7 @@ func Fig2(scale sqlsheet.APBScale, selectivities []float64) ([]Series, error) {
 			q := S5Query(3, prods)
 			cfg := sqlsheet.Config{}
 			v.cfg(&cfg)
-			db.Configure(cfg)
+			db.Configure(withWorkers(cfg))
 			secs, rows, err := timeQuery(db, q)
 			if err != nil {
 				return nil, fmt.Errorf("%s sel=%g: %v", v.name, sel, err)
@@ -231,7 +243,7 @@ func Fig3(scale sqlsheet.APBScale, ruleCounts []int) ([]Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.Configure(sqlsheet.Config{})
+	db.Configure(withWorkers(sqlsheet.Config{}))
 	sheet := Series{Name: "sql-spreadsheet"}
 	joins := Series{Name: "self-joins"}
 	for _, n := range ruleCounts {
@@ -257,7 +269,7 @@ func Fig4(scale sqlsheet.APBScale, formulaCounts []int, dops []int) ([]Series, e
 	if err != nil {
 		return nil, err
 	}
-	db.Configure(sqlsheet.Config{})
+	db.Configure(withWorkers(sqlsheet.Config{}))
 	serial := Series{Name: "serial"}
 	maxN := 0
 	for _, n := range formulaCounts {
@@ -272,14 +284,27 @@ func Fig4(scale sqlsheet.APBScale, formulaCounts []int, dops []int) ([]Series, e
 	}
 	par := Series{Name: "parallel-speedup"}
 	for _, dop := range dops {
-		db.Configure(sqlsheet.Config{Parallel: dop, Buckets: dop * 4})
+		db.Configure(withWorkers(sqlsheet.Config{Parallel: dop, Buckets: dop * 4}))
 		secs, rows, err := timeQuery(db, S5Query(maxN, nil))
 		if err != nil {
 			return nil, err
 		}
 		par.Points = append(par.Points, Point{X: float64(dop), Y: secs, Rows: rows})
 	}
-	return []Series{serial, par}, nil
+	// Third series: the same sweep applied to the relational operators — the
+	// ANSI self-join formulation with the morsel-driven worker pool at each
+	// degree. It answers the obvious follow-up to Fig. 3: does the join
+	// formulation catch up when it too is parallelized?
+	opPar := Series{Name: "operator-parallel-joins"}
+	for _, dop := range dops {
+		db.Configure(sqlsheet.Config{Workers: dop})
+		secs, rows, err := timeQuery(db, S5JoinQuery(maxN, nil))
+		if err != nil {
+			return nil, err
+		}
+		opPar.Points = append(opPar.Points, Point{X: float64(dop), Y: secs, Rows: rows})
+	}
+	return []Series{serial, par, opPar}, nil
 }
 
 // Fig5 sweeps the access structure's memory budget as a percentage of the
@@ -311,7 +336,7 @@ func Fig5(scale sqlsheet.APBScale, percents []int) (Series, []int64, error) {
 	var loads []int64
 	for _, pct := range percents {
 		budget := largest * int64(pct) / 100
-		db.Configure(sqlsheet.Config{MemoryBudget: budget, Buckets: 8})
+		db.Configure(withWorkers(sqlsheet.Config{MemoryBudget: budget, Buckets: 8}))
 		start := time.Now()
 		result, stats, err := db.QueryStats(q)
 		if err != nil {

@@ -34,15 +34,21 @@ func TestFig4Driver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(series) != 2 {
+	if len(series) != 3 {
 		t.Fatalf("series = %d", len(series))
 	}
-	if len(series[0].Points) != 2 || len(series[1].Points) != 2 {
-		t.Fatalf("points = %d/%d", len(series[0].Points), len(series[1].Points))
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points = %d", s.Name, len(s.Points))
+		}
 	}
-	// Parallel runs must compute the same result cardinality.
+	// Parallel runs must compute the same result cardinality, for the
+	// spreadsheet PEs and for the operator worker pool alike.
 	if series[1].Points[0].Rows != series[1].Points[1].Rows {
 		t.Error("parallel DOPs disagree on row count")
+	}
+	if series[2].Points[0].Rows != series[2].Points[1].Rows {
+		t.Error("operator worker counts disagree on row count")
 	}
 }
 

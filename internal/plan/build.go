@@ -380,7 +380,7 @@ func checkResolvable(e sqlast.Expr, schema *eval.BoundSchema) error {
 			if rerr != nil {
 				err = rerr
 			} else if !found {
-				err = fmt.Errorf("unknown column %s", c)
+				err = fmt.Errorf("%w %s", eval.ErrUnknownColumn, c)
 			}
 		}
 		return true

@@ -65,6 +65,10 @@ type Options struct {
 	DisableFilterPushdown bool
 	// Parallel is the spreadsheet degree of parallelism.
 	Parallel int
+	// Workers is the operator worker-pool size for morsel-driven parallel
+	// relational operators (0 = all cores, 1 = serial). The pool shares one
+	// core budget with the spreadsheet PEs; see exec.Options.Workers.
+	Workers int
 	// PromoteIndependentDims duplicates an independent dimension into the
 	// distribution key when the PBY list is empty (S3/S4).
 	PromoteIndependentDims bool
