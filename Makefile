@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race bench-parallel
+.PHONY: build test verify vet race bench-parallel bench lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification: everything must build and every test must pass.
-verify: build test
+# Tier-1 verification: everything must build, every test must pass, and no
+# hot-path interpreter call may sneak in unannotated.
+verify: build test lint-hotpath
+
+# lint-hotpath flags direct interpreter entry points (eval.Eval / eval.EvalBool)
+# in the executor and spreadsheet engine. Per-row loops there must go through
+# compiled expressions; a deliberate interpreter call needs an `interp-ok:`
+# comment on the same line justifying it (one-time setup, compilation-off
+# fallback, ...).
+lint-hotpath:
+	@bad=$$(grep -n 'eval\.\(Eval\|EvalBool\)(' internal/exec/*.go internal/core/*.go \
+		| grep -v '_test\.go' | grep -v 'interp-ok:'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-hotpath: unannotated interpreter calls on executor/core paths:"; \
+		echo "$$bad"; \
+		echo "route through compiled expressions or add an 'interp-ok: <reason>' comment"; \
+		exit 1; \
+	fi; \
+	echo "lint-hotpath: ok"
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +45,9 @@ race: vet
 # at -cpu 1 vs 4 (see BENCH_parallel.json for a recorded baseline).
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel(Join|GroupBy)' -cpu 1,2,4 -benchmem .
+
+# Compiled-evaluation benchmarks: expression-heavy filter and spreadsheet
+# cell-probe microbenchmarks, compiled vs interpreted, swept across core
+# counts (see BENCH_eval.json for a recorded baseline).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompiled(Filter|SpreadsheetProbe)' -cpu 1,2,4 -benchmem .

@@ -108,6 +108,10 @@ type Config struct {
 	DisableFilterPushdown bool
 	DisableSingleScan     bool
 	DisableRangeProbe     bool
+	// DisableCompiledEval routes all per-row expression evaluation through
+	// the tree-walking interpreter instead of closure-compiled expressions.
+	// Results are byte-identical either way; this is an ablation knob.
+	DisableCompiledEval bool
 	// UseBTreeIndex swaps the spreadsheet's cell hash tables for B-trees
 	// (the paper's abandoned first access method; ablation only).
 	UseBTreeIndex bool
@@ -355,15 +359,16 @@ func ToValue(v any) Value {
 func (db *DB) newExecutor() *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
-		Parallel:          o.Parallel,
-		Workers:           o.Workers,
-		MorselSize:        o.MorselSize,
-		Buckets:           o.Buckets,
-		MemoryBudget:      o.MemoryBudget,
-		SpillDir:          o.SpillDir,
-		DisableSingleScan: o.DisableSingleScan,
-		DisableRangeProbe: o.DisableRangeProbe,
-		UseBTreeIndex:     o.UseBTreeIndex,
+		Parallel:            o.Parallel,
+		Workers:             o.Workers,
+		MorselSize:          o.MorselSize,
+		Buckets:             o.Buckets,
+		MemoryBudget:        o.MemoryBudget,
+		SpillDir:            o.SpillDir,
+		DisableSingleScan:   o.DisableSingleScan,
+		DisableRangeProbe:   o.DisableRangeProbe,
+		UseBTreeIndex:       o.UseBTreeIndex,
+		DisableCompiledEval: o.DisableCompiledEval,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -372,6 +377,7 @@ func (db *DB) newExecutor() *exec.Executor {
 		DisableSheetRewrite:    o.DisableSheetRewrite,
 		DisableSheetPush:       o.DisableSheetPush,
 		DisableFilterPushdown:  o.DisableFilterPushdown,
+		DisableCompiledEval:    o.DisableCompiledEval,
 		Parallel:               o.Parallel,
 		Workers:                o.Workers,
 		PromoteIndependentDims: o.PromoteIndependentDims,

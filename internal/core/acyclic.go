@@ -181,7 +181,7 @@ func (fe *frameEval) ruleTargets(r *Rule) ([][]types.Value, error) {
 		q := &r.Quals[i]
 		switch q.Kind {
 		case sqlast.QualPoint:
-			v, err := eval.Eval(ctx, q.Val)
+			v, err := fe.eval(ctx, q.Val)
 			if err != nil {
 				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
 			}
@@ -228,7 +228,7 @@ func (fe *frameEval) applyPoint(r *Rule, dims []types.Value, ctx *eval.Context) 
 	row := fe.f.Row(pos).Clone()
 	rctx := *ctx
 	rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
-	v, err := eval.Eval(&rctx, r.RHS)
+	v, err := fe.eval(&rctx, r.RHS)
 	if err != nil {
 		return fmt.Errorf("%s: %v", r.Label, err)
 	}
@@ -316,7 +316,7 @@ func (fe *frameEval) applyExistential(r *Rule) error {
 			row := fe.f.Row(pos)
 			copy(fe.cv, row[fe.m.NPby:fe.m.NPby+fe.m.NDby])
 			binding.Row = row
-			v, err := eval.Eval(ctx, r.RHS)
+			v, err := fe.eval(ctx, r.RHS)
 			if err != nil {
 				return fmt.Errorf("%s: %v", r.Label, err)
 			}
@@ -357,7 +357,7 @@ func (fe *frameEval) applyExistential(r *Rule) error {
 		}
 		rctx := *ctx
 		rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
-		v, err := eval.Eval(&rctx, r.RHS)
+		v, err := fe.eval(&rctx, r.RHS)
 		fe.curAggs = nil
 		if err != nil {
 			return fmt.Errorf("%s: %v", r.Label, err)
@@ -383,17 +383,17 @@ func (fe *frameEval) matchTargets(r *Rule) ([]int, error) {
 		case sqlast.QualStar:
 			tests[i] = func(types.Row) (bool, error) { return true, nil }
 		case sqlast.QualPoint:
-			v, err := eval.Eval(ctx, q.Val)
+			v, err := fe.eval(ctx, q.Val)
 			if err != nil {
 				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
 			}
 			tests[i] = func(row types.Row) (bool, error) { return types.Equal(row[col], v), nil }
 		case sqlast.QualRange:
-			lo, err := eval.Eval(ctx, q.Lo)
+			lo, err := fe.eval(ctx, q.Lo)
 			if err != nil {
 				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
 			}
-			hi, err := eval.Eval(ctx, q.Hi)
+			hi, err := fe.eval(ctx, q.Hi)
 			if err != nil {
 				return nil, fmt.Errorf("%s: left side: %v", r.Label, err)
 			}
@@ -415,10 +415,13 @@ func (fe *frameEval) matchTargets(r *Rule) ([]int, error) {
 			}
 		case sqlast.QualPred:
 			pred := q.Pred
+			// Hoisted per-rule: only the row binding varies per row.
+			pctx := *ctx
+			pbind := eval.Binding{BS: fe.bs}
+			pctx.Binding = &pbind
 			tests[i] = func(row types.Row) (bool, error) {
-				rctx := *ctx
-				rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
-				return eval.EvalBool(&rctx, pred)
+				pbind.Row = row
+				return fe.evalBool(&pctx, pred)
 			}
 		case sqlast.QualForIn:
 			vals := q.forCache
@@ -465,7 +468,7 @@ func (fe *frameEval) sortTargets(r *Rule, targets []int) error {
 		rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
 		keys := make([]types.Value, len(r.OrderBy))
 		for j, o := range r.OrderBy {
-			v, err := eval.Eval(&rctx, o.Expr)
+			v, err := fe.eval(&rctx, o.Expr)
 			if err != nil {
 				return fmt.Errorf("%s: ORDER BY: %v", r.Label, err)
 			}

@@ -34,6 +34,13 @@ type aggInstance struct {
 	// meas is the set of measure ordinals the arguments read, used by the
 	// single-scan inverse-maintenance optimization.
 	meas map[int]bool
+
+	// argBuf/argCtx/argBind are per-instance scratch so the per-row argument
+	// extraction in feed/onInsert does not allocate. onWrite, which needs two
+	// argument vectors live at once, uses its own buffers instead.
+	argBuf  []types.Value
+	argCtx  eval.Context
+	argBind eval.Binding
 }
 
 // buildInstance compiles a CellAgg into an instance under the current
@@ -60,7 +67,7 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 		col := m.NPby + i
 		switch q.Kind {
 		case sqlast.QualPoint:
-			v, err := eval.Eval(ctx, q.Val)
+			v, err := fe.eval(ctx, q.Val)
 			if err != nil {
 				return nil, err
 			}
@@ -72,11 +79,11 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 			allEnumerable = false
 			inst.matchers[i] = func(types.Row) (bool, error) { return true, nil }
 		case sqlast.QualRange:
-			lo, err := eval.Eval(ctx, q.Lo)
+			lo, err := fe.eval(ctx, q.Lo)
 			if err != nil {
 				return nil, err
 			}
-			hi, err := eval.Eval(ctx, q.Hi)
+			hi, err := fe.eval(ctx, q.Hi)
 			if err != nil {
 				return nil, err
 			}
@@ -108,10 +115,15 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 				allEnumerable = false
 			}
 			pred := q.Pred
+			// The context copy and binding are hoisted out of the per-row
+			// matcher: every field but the row binding is fixed once the
+			// owning target's cv() values are bound at build time.
+			mctx := *ctx
+			mbind := eval.Binding{BS: fe.bs}
+			mctx.Binding = &mbind
 			inst.matchers[i] = func(row types.Row) (bool, error) {
-				rctx := *ctx
-				rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
-				return eval.EvalBool(&rctx, pred)
+				mbind.Row = row
+				return fe.evalBool(&mctx, pred)
 			}
 		default:
 			return nil, fmt.Errorf("unsupported qualifier kind on an aggregate reference")
@@ -152,7 +164,7 @@ func (fe *frameEval) enumeratePred(ctx *eval.Context, pred sqlast.Expr, dim stri
 			return nil, false
 		}
 		if c, ok := x.L.(*sqlast.ColumnRef); ok && c.Name == dim && c.Table == "" {
-			v, err := eval.Eval(ctx, x.R)
+			v, err := fe.eval(ctx, x.R)
 			if err != nil {
 				return nil, false
 			}
@@ -169,7 +181,7 @@ func (fe *frameEval) enumeratePred(ctx *eval.Context, pred sqlast.Expr, dim stri
 		}
 		vals := make([]types.Value, 0, len(x.List))
 		for _, e := range x.List {
-			v, err := eval.Eval(ctx, e)
+			v, err := fe.eval(ctx, e)
 			if err != nil {
 				return nil, false
 			}
@@ -184,8 +196,8 @@ func (fe *frameEval) enumeratePred(ctx *eval.Context, pred sqlast.Expr, dim stri
 		if !ok || c.Name != dim {
 			return nil, false
 		}
-		lo, err1 := eval.Eval(ctx, x.Lo)
-		hi, err2 := eval.Eval(ctx, x.Hi)
+		lo, err1 := fe.eval(ctx, x.Lo)
+		hi, err2 := fe.eval(ctx, x.Hi)
 		if err1 != nil || err2 != nil {
 			return nil, false
 		}
@@ -205,30 +217,33 @@ func (inst *aggInstance) match(row types.Row) (bool, error) {
 	return true, nil
 }
 
-// argVals extracts the aggregate's argument values from a row.
-func (inst *aggInstance) argVals(fe *frameEval, row types.Row) ([]types.Value, error) {
+// argValsInto extracts the aggregate's argument values from a row, appending
+// into buf (callers pass scratch they own; accumulators do not retain the
+// slice past Add/Remove).
+func (inst *aggInstance) argValsInto(buf []types.Value, fe *frameEval, row types.Row) ([]types.Value, error) {
 	if inst.star {
 		return nil, nil
 	}
-	out := make([]types.Value, len(inst.args))
-	rctx := *inst.ctx
-	rctx.Binding = &eval.Binding{BS: fe.bs, Row: row}
-	for i, a := range inst.args {
-		v, err := eval.Eval(&rctx, a)
+	inst.argCtx = *inst.ctx
+	inst.argBind = eval.Binding{BS: fe.bs, Row: row}
+	inst.argCtx.Binding = &inst.argBind
+	for _, a := range inst.args {
+		v, err := fe.eval(&inst.argCtx, a)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = v
+		buf = append(buf, v)
 	}
-	return out, nil
+	return buf, nil
 }
 
 // feed adds a matching row to the accumulator, marking convergence flags.
 func (inst *aggInstance) feed(fe *frameEval, pos int, row types.Row) error {
-	vals, err := inst.argVals(fe, row)
+	vals, err := inst.argValsInto(inst.argBuf[:0], fe, row)
 	if err != nil {
 		return err
 	}
+	inst.argBuf = vals[:0]
 	inst.acc.Add(vals...)
 	if fe.trackRefs {
 		if inst.star {
@@ -283,11 +298,11 @@ func (inst *aggInstance) onWrite(fe *frameEval, row types.Row, mea int, oldV, ne
 	oldRow[mea] = oldV
 	newRow := row.Clone()
 	newRow[mea] = newV
-	oldArgs, err := inst.argVals(fe, oldRow)
+	oldArgs, err := inst.argValsInto(nil, fe, oldRow)
 	if err != nil {
 		return err
 	}
-	newArgs, err := inst.argVals(fe, newRow)
+	newArgs, err := inst.argValsInto(nil, fe, newRow)
 	if err != nil {
 		return err
 	}
@@ -302,10 +317,11 @@ func (inst *aggInstance) onInsert(fe *frameEval, pos int, row types.Row) error {
 	if err != nil || !ok {
 		return err
 	}
-	vals, err := inst.argVals(fe, row)
+	vals, err := inst.argValsInto(inst.argBuf[:0], fe, row)
 	if err != nil {
 		return err
 	}
+	inst.argBuf = vals[:0]
 	inst.acc.Add(vals...)
 	return nil
 }

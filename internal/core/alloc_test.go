@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"sqlsheet/internal/blockstore"
+	"sqlsheet/internal/types"
+)
+
+// TestFrameProbeDoesNotAllocate pins the allocation-free cell-probe
+// contract: once a frame's key scratch buffer has warmed up, Lookup and
+// WasPresent encode the DBY key into the reused buffer and probe the hash
+// index via the no-alloc string(key) map-access idiom — zero allocations
+// per probe in steady state. Formula evaluation probes cells for every
+// qualifier of every rule on every row, so an allocation here multiplies
+// into GC pressure proportional to cells × rules.
+func TestFrameProbeDoesNotAllocate(t *testing.T) {
+	m := mustModel(t, `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY(p, t) MEA(s)
+		( s['dvd', 2000] = 1 )`, nil)
+	rows := []types.Row{
+		R("west", "dvd", 2000, 10.0),
+		R("west", "vcr", 2001, 20.0),
+		R("west", "tv", 1999, 30.0),
+		R("east", "dvd", 2000, 40.0),
+	}
+	ps, err := buildPartitions(m, rows, 2, func() blockstore.Store { return blockstore.NewMem() }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	var frames []*Frame
+	for _, b := range ps.Buckets() {
+		frames = append(frames, b.frames...)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames built")
+	}
+	hit := []types.Value{V("dvd"), V(2000)}
+	miss := []types.Value{V("laser"), V(1985)}
+	probe := func() {
+		for _, f := range frames {
+			f.Lookup(hit)
+			f.Lookup(miss)
+			f.WasPresent(hit)
+			f.WasPresent(miss)
+		}
+	}
+	probe() // warm the per-frame key scratch buffers
+	if avg := testing.AllocsPerRun(200, probe); avg != 0 {
+		t.Errorf("frame probes allocate %.2f times per run; want 0", avg)
+	}
+}

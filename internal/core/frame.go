@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"sqlsheet/internal/blockstore"
@@ -51,6 +50,12 @@ type Frame struct {
 	// per-cell "referenced" marks, alternated between iterations so that
 	// clearing is free (§5).
 	refFlags [2]map[int64]bool
+
+	// keyScratch is the frame's reusable DBY-key encoding buffer. Frames are
+	// evaluated by exactly one PE at a time, and no key encoding happens
+	// re-entrantly, so a single buffer makes steady-state cell probes
+	// allocation-free.
+	keyScratch []byte
 }
 
 // StoreFactory builds the row store for one first-level bucket.
@@ -169,12 +174,16 @@ func buildPartitions(m *Model, rows []types.Row, nBuckets int, newStore StoreFac
 			}
 			for _, ri := range sorted {
 				row := rows[ri]
-				dk := dbyKey(m, row)
-				if _, dup := f.lookupKey([]byte(dk)); dup {
+				kb = kb[:0]
+				for d := 0; d < m.NDby; d++ {
+					kb = types.AppendKey(kb, row[m.NPby+d])
+				}
+				if _, dup := f.lookupKey(kb); dup {
 					return nil, fmt.Errorf("spreadsheet: DBY columns (%s) do not uniquely identify row %v within its partition",
 						joinNames(m.DimNames()), row[m.NPby:m.NPby+m.NDby])
 				}
 				id := b.store.Append(row.Clone())
+				dk := string(kb) // stored in index and present set
 				f.putKey(dk, len(f.ids))
 				f.ids = append(f.ids, id)
 				f.present[dk] = true
@@ -196,16 +205,22 @@ func joinNames(ns []string) string {
 }
 
 func bucketOf(key []byte, n int) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32()) % n
+	return int(hashBytes(key)) % n
 }
 
-// hashBytes gives the second-level hash ordering of an encoded DBY key.
+// hashBytes gives the second-level hash ordering of an encoded DBY key
+// (FNV-1a, computed inline so per-row hashing does not allocate a hasher).
 func hashBytes(key []byte) uint32 {
-	h := fnv.New32a()
-	h.Write(key)
-	return h.Sum32()
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
 }
 
 // HashValue exposes the bucket hash for a single dimension value; the
@@ -308,14 +323,26 @@ func (f *Frame) putKey(key string, pos int) {
 	f.bidx.Put(key, pos)
 }
 
+// dimsKey encodes dimension values into the frame's scratch buffer. The
+// result is only valid until the next dimsKey call; probe paths convert it
+// inside map index expressions, which the compiler keeps allocation-free.
+func (f *Frame) dimsKey(dims []types.Value) []byte {
+	buf := f.keyScratch[:0]
+	for _, v := range dims {
+		buf = types.AppendKey(buf, v)
+	}
+	f.keyScratch = buf
+	return buf
+}
+
 // Lookup probes the second-level index with dimension values.
 func (f *Frame) Lookup(dims []types.Value) (pos int, ok bool) {
-	return f.lookupKey([]byte(keyOf(dims)))
+	return f.lookupKey(f.dimsKey(dims))
 }
 
 // WasPresent reports whether the cell existed before the spreadsheet ran.
 func (f *Frame) WasPresent(dims []types.Value) bool {
-	return f.present[keyOf(dims)]
+	return f.present[string(f.dimsKey(dims))]
 }
 
 // SetMeasure assigns one measure of the row at pos and reports whether the

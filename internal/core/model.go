@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sqlsheet/internal/aggs"
+	"sqlsheet/internal/eval"
 	"sqlsheet/internal/sqlast"
 	"sqlsheet/internal/types"
 )
@@ -45,6 +46,14 @@ type Model struct {
 	levels   []level
 	depEdges [][]int // depEdges[i] = rules that rule i depends on
 	cyclic   bool
+
+	// compiled maps every per-cell formula expression (rule right sides,
+	// qualifier values/predicates/bounds, ORDER BY keys, aggregate
+	// arguments) to its closure-compiled form. Built once at the start of
+	// Run — after the optimizer's pruning/rewriting has settled the final
+	// expression set — and read-only afterwards, so PE goroutines share it
+	// without locking. A missing entry falls back to the interpreter.
+	compiled map[sqlast.Expr]eval.CompiledExpr
 }
 
 type refMeaBinding struct {
@@ -471,6 +480,63 @@ func (m *Model) checkRefCell(label string, ref *RefMeta, x *sqlast.CellRef) erro
 		}
 	}
 	return nil
+}
+
+// buildCompiled populates the compiled-expression registry against the
+// working schema. Every expression the per-cell loops evaluate is registered:
+// rule right sides as whole trees, plus — because cell-key probing and
+// target matching evaluate them standalone — each qualifier value, predicate
+// and range bound (including those nested inside right-side cell references
+// and aggregates), ORDER BY keys, and aggregate arguments.
+func (m *Model) buildCompiled() {
+	m.compiled = make(map[sqlast.Expr]eval.CompiledExpr)
+	env := eval.FromSchema(m.Schema)
+	reg := func(e sqlast.Expr) {
+		if e == nil {
+			return
+		}
+		if _, ok := m.compiled[e]; ok {
+			return
+		}
+		if c, err := eval.Compile(env, e); err == nil && c.Valid() {
+			m.compiled[e] = c
+		}
+	}
+	regQual := func(q *sqlast.DimQual) {
+		reg(q.Val)
+		reg(q.Pred)
+		reg(q.Lo)
+		reg(q.Hi)
+	}
+	for _, r := range m.Rules {
+		reg(r.RHS)
+		sqlast.WalkExpr(r.RHS, func(e sqlast.Expr) bool {
+			switch x := e.(type) {
+			case *sqlast.CellRef:
+				for i := range x.Quals {
+					regQual(&x.Quals[i])
+				}
+			case *sqlast.CellAgg:
+				for i := range x.Quals {
+					regQual(&x.Quals[i])
+				}
+				for _, a := range x.Args {
+					reg(a)
+				}
+			}
+			return true
+		})
+		for i := range r.Quals {
+			q := &r.Quals[i]
+			reg(q.Val)
+			reg(q.Pred)
+			reg(q.Lo)
+			reg(q.Hi)
+		}
+		for _, o := range r.OrderBy {
+			reg(o.Expr)
+		}
+	}
 }
 
 func (m *Model) findRef(name string) *RefMeta {

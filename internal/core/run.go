@@ -41,6 +41,9 @@ type RunOptions struct {
 	// UseBTreeIndex swaps the second-level hash tables for B-trees — the
 	// paper's abandoned first access method, kept as an ablation (§7).
 	UseBTreeIndex bool
+	// DisableCompiledEval routes formula evaluation through the tree-walking
+	// interpreter instead of compiled closures (ablation knob).
+	DisableCompiledEval bool
 }
 
 // Run executes the compiled spreadsheet over rows in working-schema layout
@@ -53,6 +56,9 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 	}
 	if err := m.prepareForIn(opts.Subquery); err != nil {
 		return nil, blockstore.Stats{}, err
+	}
+	if m.compiled == nil && !opts.DisableCompiledEval {
+		m.buildCompiled()
 	}
 	newStore := opts.NewStore
 	if newStore == nil {
@@ -158,7 +164,7 @@ func (m *Model) prepareForIn(runner eval.SubqueryRunner) error {
 			}
 			vals := make([]types.Value, len(q.ForVals))
 			for i, e := range q.ForVals {
-				v, err := eval.Eval(&eval.Context{Subquery: runner}, e)
+				v, err := eval.Eval(&eval.Context{Subquery: runner}, e) // interp-ok: one-time FOR-IN list materialization
 				if err != nil {
 					return fmt.Errorf("%s: FOR %s IN value %d: %v", r.Label, q.DimName, i+1, err)
 				}
@@ -177,17 +183,17 @@ const maxForEnumeration = 1 << 20
 // qualifier into its value list.
 func enumerateFromTo(q *Qual, runner eval.SubqueryRunner) ([]types.Value, error) {
 	ctx := &eval.Context{Subquery: runner}
-	lo, err := eval.Eval(ctx, q.ForFrom)
+	lo, err := eval.Eval(ctx, q.ForFrom) // interp-ok: one-time FROM..TO bound
 	if err != nil {
 		return nil, err
 	}
-	hi, err := eval.Eval(ctx, q.ForTo)
+	hi, err := eval.Eval(ctx, q.ForTo) // interp-ok: one-time FROM..TO bound
 	if err != nil {
 		return nil, err
 	}
 	step := types.NewInt(1)
 	if q.ForStep != nil {
-		step, err = eval.Eval(ctx, q.ForStep)
+		step, err = eval.Eval(ctx, q.ForStep) // interp-ok: one-time FROM..TO bound
 		if err != nil {
 			return nil, err
 		}
@@ -265,6 +271,29 @@ func (m *Model) newFrameEval(f *Frame, opts *RunOptions) *frameEval {
 	}
 }
 
+// eval evaluates a formula expression through its compiled closure when the
+// registry has one, falling back to the tree-walking interpreter (identical
+// semantics) otherwise. The registry is read-only during execution, so PEs
+// call this concurrently without locking.
+func (fe *frameEval) eval(ctx *eval.Context, e sqlast.Expr) (types.Value, error) {
+	if !fe.opts.DisableCompiledEval {
+		if c, ok := fe.m.compiled[e]; ok {
+			return c.Eval(ctx)
+		}
+	}
+	return eval.Eval(ctx, e) // interp-ok: fallback when compilation is off
+}
+
+// evalBool is eval with SQL boolean coercion (NULL counts as false).
+func (fe *frameEval) evalBool(ctx *eval.Context, e sqlast.Expr) (bool, error) {
+	if !fe.opts.DisableCompiledEval {
+		if c, ok := fe.m.compiled[e]; ok {
+			return c.EvalBool(ctx)
+		}
+	}
+	return eval.EvalBool(ctx, e) // interp-ok: fallback when compilation is off
+}
+
 // evalFrame runs the analysis plan over one spreadsheet partition.
 func (m *Model) evalFrame(f *Frame, opts *RunOptions) error {
 	fe := m.newFrameEval(f, opts)
@@ -326,7 +355,7 @@ func (fe *frameEval) pointDims(ctx *eval.Context, quals []sqlast.DimQual) ([]typ
 		if q.Kind != sqlast.QualPoint {
 			return nil, fmt.Errorf("cell reference qualifier %d is not single-valued", i+1)
 		}
-		v, err := eval.Eval(ctx, q.Val)
+		v, err := fe.eval(ctx, q.Val)
 		if err != nil {
 			return nil, err
 		}
@@ -344,7 +373,7 @@ func (fe *frameEval) evalCellKey(ctx *eval.Context, quals []sqlast.DimQual, buf 
 		if quals[i].Kind != sqlast.QualPoint {
 			return nil, fmt.Errorf("cell reference qualifier %d is not single-valued", i+1)
 		}
-		v, err := eval.Eval(ctx, quals[i].Val)
+		v, err := fe.eval(ctx, quals[i].Val)
 		if err != nil {
 			return nil, err
 		}

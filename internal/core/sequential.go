@@ -81,7 +81,7 @@ func (fe *frameEval) evalUntil(until sqlast.Expr) (bool, error) {
 		}
 		return types.Null, fmt.Errorf("previous(%s): no snapshot (internal)", p)
 	}
-	ok, err := eval.EvalBool(ctx, until)
+	ok, err := eval.EvalBool(ctx, until) // interp-ok: once per ITERATE pass, not per cell
 	if err != nil {
 		return false, fmt.Errorf("UNTIL: %v", err)
 	}

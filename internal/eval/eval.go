@@ -561,8 +561,8 @@ func evalLike(ctx *Context, x *sqlast.Like) (types.Value, error) {
 	if v.IsNull() || p.IsNull() {
 		return types.Null, nil
 	}
-	m := likeMatch(v.String(), p.String())
-	return types.NewBool(m != x.Not), nil
+	m := matcherFor(x, p.String())
+	return types.NewBool(m.match(v.String()) != x.Not), nil
 }
 
 // likeMatch implements SQL LIKE with % and _ wildcards.

@@ -45,6 +45,10 @@ type Options struct {
 	// UseBTreeIndex swaps the cell hash tables for B-trees (access-path
 	// ablation, paper §7).
 	UseBTreeIndex bool
+	// DisableCompiledEval keeps per-row expressions on the tree-walking
+	// interpreter (ablation knob; results are byte-identical either way).
+	// The plan side carries the same flag in plan.Options.
+	DisableCompiledEval bool
 	// PlanOpts is used when the executor plans subqueries itself.
 	PlanOpts *plan.Options
 }
@@ -135,10 +139,16 @@ func (ex *Executor) Execute(n plan.Node, outer *eval.Binding) (*Result, error) {
 		}
 		seen := make(map[string]bool, len(in.Rows))
 		var rows []types.Row
+		var buf []byte
 		for _, r := range in.Rows {
-			k := types.Key(r...)
-			if !seen[k] {
-				seen[k] = true
+			buf = buf[:0]
+			for _, v := range r {
+				buf = types.AppendKey(buf, v)
+			}
+			// string(buf) in the map index does not allocate; the key
+			// string is materialized only for first-seen rows.
+			if !seen[string(buf)] {
+				seen[string(buf)] = true
 				rows = append(rows, r)
 			}
 		}
@@ -179,8 +189,35 @@ func (ex *Executor) ctx(bs *eval.BoundSchema, row types.Row, outer *eval.Binding
 	}
 }
 
+// evalC evaluates e through its compiled form when one is attached,
+// falling back to the interpreter (compilation disabled, or a plan built
+// without the compile pass). The fallback is behaviorally identical.
+func evalC(ctx *eval.Context, c eval.CompiledExpr, e sqlast.Expr) (types.Value, error) {
+	if c.Valid() {
+		return c.Eval(ctx)
+	}
+	return eval.Eval(ctx, e) // interp-ok: fallback when compilation is off
+}
+
+// evalBoolC is evalC under SQL three-valued logic (NULL is false).
+func evalBoolC(ctx *eval.Context, c eval.CompiledExpr, e sqlast.Expr) (bool, error) {
+	if c.Valid() {
+		return c.EvalBool(ctx)
+	}
+	return eval.EvalBool(ctx, e) // interp-ok: fallback when compilation is off
+}
+
+// pickC returns element i of a compiled-expression list, or the invalid
+// zero value when the list is short or absent.
+func pickC(cs []eval.CompiledExpr, i int) eval.CompiledExpr {
+	if i < len(cs) {
+		return cs[i]
+	}
+	return eval.CompiledExpr{}
+}
+
 func (ex *Executor) execScan(n *plan.Scan, outer *eval.Binding) (*Result, error) {
-	return ex.scanRows(n.Table.Rows, n.Schema(), n.Filter, outer)
+	return ex.scanRows(n.Table.Rows, n.Schema(), n.Filter, n.FilterC, outer)
 }
 
 func (ex *Executor) execCTERef(n *plan.CTERef, outer *eval.Binding) (*Result, error) {
@@ -197,10 +234,10 @@ func (ex *Executor) execCTERef(n *plan.CTERef, outer *eval.Binding) (*Result, er
 		cached = res
 		ex.mu.Unlock()
 	}
-	return ex.scanRows(cached.Rows, n.Schema(), n.Filter, outer)
+	return ex.scanRows(cached.Rows, n.Schema(), n.Filter, n.FilterC, outer)
 }
 
-func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter sqlast.Expr, outer *eval.Binding) (*Result, error) {
+func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter sqlast.Expr, filterC eval.CompiledExpr, outer *eval.Binding) (*Result, error) {
 	if filter == nil {
 		rows := make([]types.Row, len(src))
 		copy(rows, src)
@@ -208,7 +245,10 @@ func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter s
 	}
 	// Morsel-parallel path. Predicates containing subqueries stay serial:
 	// parallel workers must not race the correlated-subquery detection or
-	// execute shared subquery plans (and their Models) concurrently.
+	// execute shared subquery plans (and their Models) concurrently. The
+	// compiled predicate is shared across workers — its closures capture
+	// only immutable compile-time data; per-row state lives in each
+	// worker's own Context.
 	if nm := ex.morselCount(len(src)); nm > 0 && !sqlast.HasSubquery(filter) {
 		parts := make([][]types.Row, nm)
 		wc := ex.workerCtxs(schema, outer)
@@ -217,7 +257,7 @@ func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter s
 			var out []types.Row
 			for _, r := range src[m.Lo:m.Hi] {
 				ctx.Binding.Row = r
-				ok, err := eval.EvalBool(ctx, filter)
+				ok, err := evalBoolC(ctx, filterC, filter)
 				if err != nil {
 					return err
 				}
@@ -237,7 +277,7 @@ func (ex *Executor) scanRows(src []types.Row, schema *eval.BoundSchema, filter s
 	var rows []types.Row
 	for _, r := range src {
 		ctx.Binding.Row = r
-		ok, err := eval.EvalBool(ctx, filter)
+		ok, err := evalBoolC(ctx, filterC, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +293,7 @@ func (ex *Executor) execFilter(n *plan.Filter, outer *eval.Binding) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return ex.scanRows(in.Rows, in.Schema, n.Cond, outer)
+	return ex.scanRows(in.Rows, in.Schema, n.Cond, n.CondC, outer)
 }
 
 func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, error) {
@@ -266,7 +306,7 @@ func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, 
 			ctx.Binding.Row = in.Rows[i]
 			out := make(types.Row, len(n.Exprs))
 			for j, e := range n.Exprs {
-				v, err := eval.Eval(ctx, e)
+				v, err := evalC(ctx, pickC(n.ExprsC, j), e)
 				if err != nil {
 					return err
 				}
@@ -322,7 +362,7 @@ func (ex *Executor) execSort(n *plan.Sort, outer *eval.Binding) (*Result, error)
 		ctx.Binding.Row = r
 		keys := make([]types.Value, len(n.Items))
 		for j, it := range n.Items {
-			v, err := eval.Eval(ctx, it.Expr)
+			v, err := evalC(ctx, pickC(n.ItemsC, j), it.Expr)
 			if err != nil {
 				return nil, err
 			}

@@ -26,9 +26,16 @@ func newGroup(n *plan.GroupBy, keys types.Row) (*group, error) {
 }
 
 // groupAcc is a hash-aggregation table preserving first-seen group order.
+// keyBuf/keyVals/argBuf are per-accumulator scratch so the steady-state row
+// loop (existing group, non-null keys) performs no allocations: the group
+// probe converts keyBuf in the map index expression, and key/arg values are
+// only cloned when a new group is inserted.
 type groupAcc struct {
-	groups map[string]*group
-	order  []string
+	groups  map[string]*group
+	order   []string
+	keyBuf  []byte
+	keyVals types.Row
+	argBuf  []types.Value
 }
 
 func newGroupAcc() *groupAcc {
@@ -39,22 +46,25 @@ func newGroupAcc() *groupAcc {
 func (acc *groupAcc) addRows(n *plan.GroupBy, ctx *eval.Context, in *Result, lo, hi int) error {
 	for _, row := range in.Rows[lo:hi] {
 		ctx.Binding.Row = row
-		keys := make(types.Row, len(n.Keys))
+		acc.keyBuf = acc.keyBuf[:0]
+		acc.keyVals = acc.keyVals[:0]
 		for i, k := range n.Keys {
-			v, err := eval.Eval(ctx, k)
+			v, err := evalC(ctx, pickC(n.KeysC, i), k)
 			if err != nil {
 				return err
 			}
-			keys[i] = v
+			acc.keyVals = append(acc.keyVals, v)
+			acc.keyBuf = types.AppendKey(acc.keyBuf, v)
 		}
-		gk := types.Key(keys...)
-		g := acc.groups[gk]
+		g := acc.groups[string(acc.keyBuf)]
 		if g == nil {
 			var err error
+			keys := append(types.Row(nil), acc.keyVals...)
 			g, err = newGroup(n, keys)
 			if err != nil {
 				return err
 			}
+			gk := string(acc.keyBuf)
 			acc.groups[gk] = g
 			acc.order = append(acc.order, gk)
 		}
@@ -63,16 +73,26 @@ func (acc *groupAcc) addRows(n *plan.GroupBy, ctx *eval.Context, in *Result, lo,
 				g.accs[i].Add()
 				continue
 			}
-			vals := make([]types.Value, len(spec.Call.Args))
+			vals := acc.argBuf[:0]
 			for j, arg := range spec.Call.Args {
-				v, err := eval.Eval(ctx, arg)
+				v, err := evalC(ctx, pickC(pickCs(n.AggArgsC, i), j), arg)
 				if err != nil {
 					return err
 				}
-				vals[j] = v
+				vals = append(vals, v)
 			}
+			acc.argBuf = vals[:0]
 			g.accs[i].Add(vals...)
 		}
+	}
+	return nil
+}
+
+// pickCs indexes a slice-of-slices of compiled expressions, tolerating a
+// short or nil outer slice (compilation disabled).
+func pickCs(css [][]eval.CompiledExpr, i int) []eval.CompiledExpr {
+	if i < len(css) {
+		return css[i]
 	}
 	return nil
 }

@@ -42,22 +42,23 @@ func (ex *Executor) execJoin(n *plan.Join, outer *eval.Binding) (*Result, error)
 	return nil, fmt.Errorf("exec: unknown join method")
 }
 
-// evalKeys computes a composite join key; ok is false when any key value is
-// NULL (SQL equality never matches NULLs).
-func evalKeys(ctx *eval.Context, row types.Row, keys []sqlast.Expr) (string, bool, error) {
+// evalKeysInto computes a composite join key into buf (reused across rows
+// by each caller, so steady-state probing does not allocate); ok is false
+// when any key value is NULL (SQL equality never matches NULLs).
+func evalKeysInto(buf []byte, ctx *eval.Context, row types.Row, keys []sqlast.Expr, keysC []eval.CompiledExpr) ([]byte, bool, error) {
 	ctx.Binding.Row = row
-	buf := make([]byte, 0, 16*len(keys))
-	for _, k := range keys {
-		v, err := eval.Eval(ctx, k)
+	buf = buf[:0]
+	for i, k := range keys {
+		v, err := evalC(ctx, pickC(keysC, i), k)
 		if err != nil {
-			return "", false, err
+			return buf, false, err
 		}
 		if v.IsNull() {
-			return "", false, nil
+			return buf, false, nil
 		}
 		buf = types.AppendKey(buf, v)
 	}
-	return string(buf), true, nil
+	return buf, true, nil
 }
 
 // joinTable is the hash-join build side: one map when built serially, or N
@@ -69,11 +70,13 @@ type joinTable struct {
 	parts []map[string][]int
 }
 
-func (t *joinTable) lookup(k string) []int {
+// lookup probes with a byte key; the string conversions in the map index
+// expressions are recognized by the compiler and do not allocate.
+func (t *joinTable) lookup(k []byte) []int {
 	if len(t.parts) == 1 {
-		return t.parts[0][k]
+		return t.parts[0][string(k)]
 	}
-	return t.parts[fnv32a(k)%uint32(len(t.parts))][k]
+	return t.parts[fnv32aBytes(k)%uint32(len(t.parts))][string(k)]
 }
 
 // joinEntry is one build row's key, staged during the partition phase.
@@ -87,7 +90,7 @@ type joinEntry struct {
 // fnv32a(key)%N into per-morsel buckets, then N partition tasks assemble
 // their hash table by draining the buckets in morsel order (keeping row
 // indices ascending). No global lock is ever taken.
-func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, outer *eval.Binding) (*joinTable, error) {
+func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, buildKeysC []eval.CompiledExpr, outer *eval.Binding) (*joinTable, error) {
 	nm := ex.morselCount(len(buildRes.Rows))
 	if nm > 0 && !anyHasSubquery(buildKeys) {
 		np := ex.workers()
@@ -96,12 +99,16 @@ func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, ou
 		if _, err := ex.forEachMorsel("join-build", len(buildRes.Rows), func(w int, m morsel) error {
 			ctx := wc.get(w)
 			local := make([][]joinEntry, np)
+			var buf []byte
 			for i := m.Lo; i < m.Hi; i++ {
-				k, ok, err := evalKeys(ctx, buildRes.Rows[i], buildKeys)
+				var ok bool
+				var err error
+				buf, ok, err = evalKeysInto(buf, ctx, buildRes.Rows[i], buildKeys, buildKeysC)
 				if err != nil {
 					return err
 				}
 				if ok {
+					k := string(buf) // stored in the table; must own its bytes
 					p := fnv32a(k) % uint32(np)
 					local[p] = append(local[p], joinEntry{key: k, row: i})
 				}
@@ -129,13 +136,16 @@ func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, ou
 
 	bctx := ex.ctx(buildRes.Schema, nil, outer)
 	table := make(map[string][]int, len(buildRes.Rows))
+	var buf []byte
 	for i, row := range buildRes.Rows {
-		k, ok, err := evalKeys(bctx, row, buildKeys)
+		var ok bool
+		var err error
+		buf, ok, err = evalKeysInto(buf, bctx, row, buildKeys, buildKeysC)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			table[k] = append(table[k], i)
+			table[string(buf)] = append(table[string(buf)], i)
 		}
 	}
 	return &joinTable{parts: []map[string][]int{table}}, nil
@@ -146,14 +156,16 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	// probes right so the preserved side drives the output.
 	buildRes, probeRes := r, l
 	buildKeys, probeKeys := n.RightKeys, n.LeftKeys
+	buildKeysC, probeKeysC := n.RightKeysC, n.LeftKeysC
 	probeIsLeft := true
 	if n.Type == sqlast.JoinRight {
 		buildRes, probeRes = l, r
 		buildKeys, probeKeys = n.LeftKeys, n.RightKeys
+		buildKeysC, probeKeysC = n.LeftKeysC, n.RightKeysC
 		probeIsLeft = false
 	}
 
-	table, err := ex.buildJoinTable(buildRes, buildKeys, outer)
+	table, err := ex.buildJoinTable(buildRes, buildKeys, buildKeysC, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -178,19 +190,22 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	// outputs stitched in morsel order equal the serial output exactly.
 	probeMorsel := func(pctx, cctx *eval.Context, m morsel) ([]types.Row, error) {
 		var out []types.Row
+		var kbuf []byte
 		for i := m.Lo; i < m.Hi; i++ {
 			probe := probeRes.Rows[i]
-			k, ok, err := evalKeys(pctx, probe, probeKeys)
+			var ok bool
+			var err error
+			kbuf, ok, err = evalKeysInto(kbuf, pctx, probe, probeKeys, probeKeysC)
 			if err != nil {
 				return nil, err
 			}
 			matched := false
 			if ok {
-				for _, bi := range table.lookup(k) {
+				for _, bi := range table.lookup(kbuf) {
 					row := combine(probe, buildRes.Rows[bi])
 					if n.Residual != nil {
 						cctx.Binding.Row = row
-						pass, err := eval.EvalBool(cctx, n.Residual)
+						pass, err := evalBoolC(cctx, n.ResidualC, n.Residual)
 						if err != nil {
 							return nil, err
 						}
@@ -245,10 +260,16 @@ func (ex *Executor) nestedLoopJoin(n *plan.Join, l, r *Result, outer *eval.Bindi
 	combined := n.Schema()
 	cctx := ex.ctx(combined, nil, outer)
 
-	// Reassemble the full ON condition from keys + residual.
+	// Reassemble the full ON condition from keys + residual. The combined
+	// condition only exists at exec time, so it is compiled here rather
+	// than by the plan-side pass.
 	on := n.Residual
 	for i := range n.LeftKeys {
 		on = andAll(on, &sqlast.Binary{Op: "=", L: n.LeftKeys[i], R: n.RightKeys[i]})
+	}
+	var onC eval.CompiledExpr
+	if on != nil && !ex.Opts.DisableCompiledEval {
+		onC, _ = eval.Compile(combined, on)
 	}
 
 	var out []types.Row
@@ -262,7 +283,7 @@ func (ex *Executor) nestedLoopJoin(n *plan.Join, l, r *Result, outer *eval.Bindi
 				if on != nil {
 					cctx.Binding.Row = row
 					var err error
-					pass, err = eval.EvalBool(cctx, on)
+					pass, err = evalBoolC(cctx, onC, on)
 					if err != nil {
 						return nil, err
 					}
@@ -285,7 +306,7 @@ func (ex *Executor) nestedLoopJoin(n *plan.Join, l, r *Result, outer *eval.Bindi
 				if on != nil {
 					cctx.Binding.Row = row
 					var err error
-					pass, err = eval.EvalBool(cctx, on)
+					pass, err = evalBoolC(cctx, onC, on)
 					if err != nil {
 						return nil, err
 					}

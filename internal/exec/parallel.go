@@ -291,6 +291,20 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// fnv32aBytes is fnv32a over a byte slice, for allocation-free probe keys.
+func fnv32aBytes(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= prime32
+	}
+	return h
+}
+
 // stitch concatenates per-morsel outputs in morsel order, preserving the
 // serial engine's row order exactly.
 func stitch(parts [][]types.Row) []types.Row {

@@ -55,14 +55,15 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	}
 	start := time.Now()
 	rows, stats, err := n.Model.Run(in.Rows, core.RunOptions{
-		Parallel:          par,
-		Buckets:           buckets,
-		NewStore:          newStore,
-		Subquery:          &runner{ex: ex},
-		Promoted:          n.Promoted,
-		DisableSingleScan: ex.Opts.DisableSingleScan,
-		DisableRangeProbe: ex.Opts.DisableRangeProbe,
-		UseBTreeIndex:     ex.Opts.UseBTreeIndex,
+		Parallel:            par,
+		Buckets:             buckets,
+		NewStore:            newStore,
+		Subquery:            &runner{ex: ex},
+		Promoted:            n.Promoted,
+		DisableSingleScan:   ex.Opts.DisableSingleScan,
+		DisableRangeProbe:   ex.Opts.DisableRangeProbe,
+		UseBTreeIndex:       ex.Opts.UseBTreeIndex,
+		DisableCompiledEval: ex.Opts.DisableCompiledEval,
 	})
 	ex.bud.release(granted)
 	if ex.Opts.Parallel > 1 {

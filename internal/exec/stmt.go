@@ -53,13 +53,14 @@ func (ex *Executor) execDelete(st *sqlast.DeleteStmt) (*Result, error) {
 	}
 	bs := eval.FromSchema(t.Schema)
 	ctx := ex.ctx(bs, nil, nil)
+	whereC := ex.compileStmtExpr(bs, st.Where)
 	kept := t.Rows[:0:0]
 	n := 0
 	for _, row := range t.Rows {
 		keep := true
 		if st.Where != nil {
 			ctx.Binding.Row = row
-			match, err := eval.EvalBool(ctx, st.Where)
+			match, err := evalBoolC(ctx, whereC, st.Where)
 			if err != nil {
 				return nil, err
 			}
@@ -99,11 +100,16 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 	}
 	bs := eval.FromSchema(t.Schema)
 	ctx := ex.ctx(bs, nil, nil)
+	whereC := ex.compileStmtExpr(bs, st.Where)
+	exprsC := make([]eval.CompiledExpr, len(st.Exprs))
+	for i, e := range st.Exprs {
+		exprsC[i] = ex.compileStmtExpr(bs, e)
+	}
 	n := 0
 	for ri, row := range t.Rows {
 		if st.Where != nil {
 			ctx.Binding.Row = row
-			match, err := eval.EvalBool(ctx, st.Where)
+			match, err := evalBoolC(ctx, whereC, st.Where)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +120,7 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 		ctx.Binding.Row = row
 		nr := row.Clone()
 		for i, e := range st.Exprs {
-			v, err := eval.Eval(ctx, e)
+			v, err := evalC(ctx, exprsC[i], e)
 			if err != nil {
 				return nil, err
 			}
@@ -131,6 +137,20 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 		t.Version++
 	}
 	return rowCountResult(n), nil
+}
+
+// compileStmtExpr compiles a DML expression once per statement against the
+// target table's schema, honoring the compiled-eval toggle. Failures return
+// the invalid zero value, which routes evalC/evalBoolC to the interpreter.
+func (ex *Executor) compileStmtExpr(env *eval.BoundSchema, e sqlast.Expr) eval.CompiledExpr {
+	if e == nil || ex.Opts.DisableCompiledEval {
+		return eval.CompiledExpr{}
+	}
+	c, err := eval.Compile(env, e)
+	if err != nil {
+		return eval.CompiledExpr{}
+	}
+	return c
 }
 
 func rowCountResult(n int) *Result {
@@ -181,7 +201,7 @@ func (ex *Executor) execInsert(ins *sqlast.InsertStmt) (*Result, error) {
 			}
 			vals := make(types.Row, len(exprRow))
 			for i, e := range exprRow {
-				v, err := eval.Eval(ctx, e)
+				v, err := eval.Eval(ctx, e) // interp-ok: one-shot literal rows, no bound schema to compile against
 				if err != nil {
 					return nil, err
 				}

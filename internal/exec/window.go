@@ -25,7 +25,7 @@ func (ex *Executor) execWindow(n *plan.Window, outer *eval.Binding) (*Result, er
 		out[i] = row
 	}
 	for _, spec := range n.Specs {
-		vals, err := ex.windowColumn(spec, in, outer)
+		vals, err := ex.windowColumn(spec, n.Compiled, in, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -38,19 +38,23 @@ func (ex *Executor) execWindow(n *plan.Window, outer *eval.Binding) (*Result, er
 
 // windowColumn computes one spec's value for every input row, in input
 // order.
-func (ex *Executor) windowColumn(spec plan.WindowSpec, in *Result, outer *eval.Binding) ([]types.Value, error) {
+func (ex *Executor) windowColumn(spec plan.WindowSpec, compiled map[sqlast.Expr]eval.CompiledExpr, in *Result, outer *eval.Binding) ([]types.Value, error) {
 	ctx := ex.ctx(in.Schema, nil, outer)
 	evalAt := func(e sqlast.Expr, row types.Row) (types.Value, error) {
 		ctx.Binding.Row = row
-		return eval.Eval(ctx, e)
+		if c, ok := compiled[e]; ok && c.Valid() {
+			return c.Eval(ctx)
+		}
+		return eval.Eval(ctx, e) // interp-ok: fallback when compilation is off
 	}
 
 	// Partition.
 	type part struct{ idx []int }
 	parts := map[string]*part{}
 	var order []string
+	var buf []byte
 	for i, row := range in.Rows {
-		var buf []byte
+		buf = buf[:0]
 		for _, pe := range spec.Fn.PartitionBy {
 			v, err := evalAt(pe, row)
 			if err != nil {
@@ -58,12 +62,11 @@ func (ex *Executor) windowColumn(spec plan.WindowSpec, in *Result, outer *eval.B
 			}
 			buf = types.AppendKey(buf, v)
 		}
-		k := string(buf)
-		p := parts[k]
+		p := parts[string(buf)]
 		if p == nil {
 			p = &part{}
-			parts[k] = p
-			order = append(order, k)
+			parts[string(buf)] = p
+			order = append(order, string(buf))
 		}
 		p.idx = append(p.idx, i)
 	}

@@ -26,6 +26,9 @@ func Build(cat *catalog.Catalog, stmt *sqlast.SelectStmt, opts *Options) (Node, 
 	if err != nil {
 		return nil, err
 	}
+	if !opts.DisableCompiledEval {
+		compilePlan(n, map[Node]bool{})
+	}
 	return n, nil
 }
 

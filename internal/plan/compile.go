@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/sqlast"
+)
+
+// compilePlan attaches closure-compiled forms of every per-row expression to
+// the plan after optimization, so the executor's hot loops run closure
+// chains instead of re-walking ASTs. Compilation is best-effort: a failure
+// leaves the slot invalid and the executor falls back to the interpreter,
+// which is always behaviorally identical.
+//
+// Expressions compile against the schema they are evaluated under at run
+// time: a Scan/CTERef filter against the node's own (aliased) schema, a
+// Filter/Project/GroupBy/Sort/Window expression against the input schema,
+// join keys against their side's schema, and a join residual against the
+// combined output schema.
+func compilePlan(n Node, visited map[Node]bool) {
+	if n == nil || visited[n] {
+		return
+	}
+	visited[n] = true
+	switch x := n.(type) {
+	case *Scan:
+		x.FilterC = compileExpr(x.Schema(), x.Filter)
+	case *CTERef:
+		x.FilterC = compileExpr(x.Schema(), x.Filter)
+		compilePlan(x.Def.Plan, visited)
+	case *Filter:
+		x.CondC = compileExpr(x.Input.Schema(), x.Cond)
+	case *Project:
+		x.ExprsC = compileExprs(x.Input.Schema(), x.Exprs)
+	case *Join:
+		x.LeftKeysC = compileExprs(x.L.Schema(), x.LeftKeys)
+		x.RightKeysC = compileExprs(x.R.Schema(), x.RightKeys)
+		x.ResidualC = compileExpr(x.Schema(), x.Residual)
+	case *GroupBy:
+		x.KeysC = compileExprs(x.Input.Schema(), x.Keys)
+		x.AggArgsC = make([][]eval.CompiledExpr, len(x.Aggs))
+		for i, spec := range x.Aggs {
+			x.AggArgsC[i] = compileExprs(x.Input.Schema(), spec.Call.Args)
+		}
+	case *Sort:
+		items := make([]sqlast.Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = it.Expr
+		}
+		x.ItemsC = compileExprs(x.Input.Schema(), items)
+	case *Window:
+		x.Compiled = map[sqlast.Expr]eval.CompiledExpr{}
+		env := x.Input.Schema()
+		add := func(e sqlast.Expr) {
+			if e != nil {
+				x.Compiled[e] = compileExpr(env, e)
+			}
+		}
+		for _, spec := range x.Specs {
+			for _, a := range spec.Fn.Func.Args {
+				add(a)
+			}
+			for _, p := range spec.Fn.PartitionBy {
+				add(p)
+			}
+			for _, o := range spec.Fn.OrderBy {
+				add(o.Expr)
+			}
+		}
+	}
+	for _, ch := range n.Children() {
+		compilePlan(ch, visited)
+	}
+}
+
+func compileExpr(env *eval.BoundSchema, e sqlast.Expr) eval.CompiledExpr {
+	ce, err := eval.Compile(env, e)
+	if err != nil {
+		return eval.CompiledExpr{}
+	}
+	return ce
+}
+
+func compileExprs(env *eval.BoundSchema, es []sqlast.Expr) []eval.CompiledExpr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]eval.CompiledExpr, len(es))
+	for i, e := range es {
+		out[i] = compileExpr(env, e)
+	}
+	return out
+}

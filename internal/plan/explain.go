@@ -3,6 +3,8 @@ package plan
 import (
 	"fmt"
 	"strings"
+
+	"sqlsheet/internal/eval"
 )
 
 // Explain renders a plan tree as indented text, including the optimizer's
@@ -23,25 +25,26 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 			fmt.Fprintf(b, " as %s", x.Alias)
 		}
 		if x.Filter != nil {
-			fmt.Fprintf(b, " filter=%s", x.Filter)
+			fmt.Fprintf(b, " filter=%s compiled=%s", x.Filter, yesNo(x.FilterC.Valid()))
 		}
 		b.WriteByte('\n')
 	case *CTERef:
 		fmt.Fprintf(b, "%sCTE %s as %s", pad, x.Def.Name, x.Alias)
 		if x.Filter != nil {
-			fmt.Fprintf(b, " filter=%s", x.Filter)
+			fmt.Fprintf(b, " filter=%s compiled=%s", x.Filter, yesNo(x.FilterC.Valid()))
 		}
 		b.WriteByte('\n')
 		explainNode(b, x.Def.Plan, depth+1)
 	case *Filter:
-		fmt.Fprintf(b, "%sFilter %s\n", pad, x.Cond)
+		fmt.Fprintf(b, "%sFilter %s compiled=%s\n", pad, x.Cond, yesNo(x.CondC.Valid()))
 		explainNode(b, x.Input, depth+1)
 	case *Project:
 		names := make([]string, len(x.Exprs))
 		for i, e := range x.Exprs {
 			names[i] = e.String()
 		}
-		fmt.Fprintf(b, "%sProject %s\n", pad, strings.Join(names, ", "))
+		fmt.Fprintf(b, "%sProject %s compiled=%s\n", pad,
+			strings.Join(names, ", "), yesNo(len(x.ExprsC) == len(x.Exprs) && allValid(x.ExprsC)))
 		explainNode(b, x.Input, depth+1)
 	case *Join:
 		fmt.Fprintf(b, "%s%s Join (%s)", pad, x.Type, x.Method)
@@ -56,6 +59,12 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		if x.Residual != nil {
 			fmt.Fprintf(b, " residual=%s", x.Residual)
 		}
+		if len(x.LeftKeys) > 0 || x.Residual != nil {
+			joinCompiled := len(x.LeftKeysC) == len(x.LeftKeys) && allValid(x.LeftKeysC) &&
+				len(x.RightKeysC) == len(x.RightKeys) && allValid(x.RightKeysC) &&
+				(x.Residual == nil || x.ResidualC.Valid())
+			fmt.Fprintf(b, " compiled=%s", yesNo(joinCompiled))
+		}
 		b.WriteByte('\n')
 		explainNode(b, x.L, depth+1)
 		explainNode(b, x.R, depth+1)
@@ -68,8 +77,9 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		for i, a := range x.Aggs {
 			aggsS[i] = a.Call.String()
 		}
-		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s]\n", pad,
-			strings.Join(keys, ", "), strings.Join(aggsS, ", "))
+		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s] compiled=%s\n", pad,
+			strings.Join(keys, ", "), strings.Join(aggsS, ", "),
+			yesNo(len(x.KeysC) == len(x.Keys) && allValid(x.KeysC)))
 		explainNode(b, x.Input, depth+1)
 	case *Union:
 		all := ""
@@ -144,4 +154,20 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 	default:
 		fmt.Fprintf(b, "%s%T\n", pad, n)
 	}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func allValid(cs []eval.CompiledExpr) bool {
+	for _, c := range cs {
+		if !c.Valid() {
+			return false
+		}
+	}
+	return true
 }

@@ -21,18 +21,20 @@ type Node interface {
 
 // Scan reads a stored table, applying an optional pushed-down filter.
 type Scan struct {
-	Table  *catalog.Table
-	Alias  string
-	Filter sqlast.Expr // nil = none; conjuncts pushed by the optimizer
-	schema *eval.BoundSchema
+	Table   *catalog.Table
+	Alias   string
+	Filter  sqlast.Expr // nil = none; conjuncts pushed by the optimizer
+	FilterC eval.CompiledExpr
+	schema  *eval.BoundSchema
 }
 
 // CTERef reads a common table expression materialized per execution.
 type CTERef struct {
-	Def    *CTEDef
-	Alias  string
-	Filter sqlast.Expr
-	schema *eval.BoundSchema
+	Def     *CTEDef
+	Alias   string
+	Filter  sqlast.Expr
+	FilterC eval.CompiledExpr
+	schema  *eval.BoundSchema
 }
 
 // CTEDef is a planned WITH entry, shared by every CTERef to it.
@@ -45,12 +47,14 @@ type CTEDef struct {
 type Filter struct {
 	Input Node
 	Cond  sqlast.Expr
+	CondC eval.CompiledExpr
 }
 
 // Project computes expressions over input rows.
 type Project struct {
 	Input  Node
 	Exprs  []sqlast.Expr
+	ExprsC []eval.CompiledExpr
 	schema *eval.BoundSchema
 }
 
@@ -78,13 +82,16 @@ func (m JoinMethod) String() string {
 // expressions (evaluated against the respective side); Residual is the
 // remaining predicate evaluated over the combined row.
 type Join struct {
-	L, R      Node
-	Type      sqlast.JoinType
-	LeftKeys  []sqlast.Expr
-	RightKeys []sqlast.Expr
-	Residual  sqlast.Expr
-	Method    JoinMethod
-	schema    *eval.BoundSchema
+	L, R       Node
+	Type       sqlast.JoinType
+	LeftKeys   []sqlast.Expr
+	RightKeys  []sqlast.Expr
+	Residual   sqlast.Expr
+	LeftKeysC  []eval.CompiledExpr
+	RightKeysC []eval.CompiledExpr
+	ResidualC  eval.CompiledExpr
+	Method     JoinMethod
+	schema     *eval.BoundSchema
 }
 
 // AggSpec is one aggregate computed by GroupBy.
@@ -96,10 +103,14 @@ type AggSpec struct {
 // GroupBy hash-aggregates its input. Output schema: one column per key
 // (named after the key when it is a plain column) then one per aggregate.
 type GroupBy struct {
-	Input  Node
-	Keys   []sqlast.Expr
-	Aggs   []AggSpec
-	schema *eval.BoundSchema
+	Input Node
+	Keys  []sqlast.Expr
+	Aggs  []AggSpec
+	// KeysC / AggArgsC are the compiled key and per-aggregate argument
+	// extractors (AggArgsC[i] aligns with Aggs[i].Call.Args).
+	KeysC    []eval.CompiledExpr
+	AggArgsC [][]eval.CompiledExpr
+	schema   *eval.BoundSchema
 }
 
 // Union concatenates (ALL) or deduplicates its inputs.
@@ -117,6 +128,8 @@ type Distinct struct {
 type Sort struct {
 	Input Node
 	Items []sqlast.OrderItem
+	// ItemsC aligns with Items (compiled sort-key extractors).
+	ItemsC []eval.CompiledExpr
 }
 
 // Limit keeps the first N rows.

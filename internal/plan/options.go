@@ -80,4 +80,8 @@ type Options struct {
 	// problem is undecidable, the exact-match restriction is not). Off by
 	// default: a rewrite may serve data stale since the last REFRESH.
 	EnableMVRewrite bool
+	// DisableCompiledEval keeps every per-row expression on the tree-walking
+	// interpreter instead of the closure-compiled form (ablation knob; the
+	// two paths produce byte-identical results).
+	DisableCompiledEval bool
 }

@@ -15,9 +15,12 @@ import (
 // the ROLAP baseline for running/prior-period calculations that the
 // spreadsheet clause subsumes.
 type Window struct {
-	Input  Node
-	Specs  []WindowSpec
-	schema *eval.BoundSchema
+	Input Node
+	Specs []WindowSpec
+	// Compiled maps each spec's argument / PARTITION BY / ORDER BY
+	// expression to its compiled form (nil when compilation is disabled).
+	Compiled map[sqlast.Expr]eval.CompiledExpr
+	schema   *eval.BoundSchema
 }
 
 // WindowSpec is one computed window column.

@@ -4,6 +4,7 @@ package sqlast
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sqlsheet/internal/types"
 )
@@ -90,10 +91,41 @@ type IsNull struct {
 	Not bool
 }
 
-// Like is X [NOT] LIKE pattern.
+// Like is X [NOT] LIKE pattern. The evaluator caches its precompiled
+// pattern matcher here: Cache for constant patterns (built once), DynCache
+// for patterns that vary per row (rebuilt only when the pattern changes).
 type Like struct {
 	X, Pattern Expr
 	Not        bool
+
+	cacheOnce sync.Once
+	cache     any
+	dyn       atomic.Value // always holds a likeDyn
+}
+
+// Cache builds (once) and returns the evaluator's matcher for a constant
+// pattern.
+func (e *Like) Cache(build func() any) any {
+	e.cacheOnce.Do(func() { e.cache = build() })
+	return e.cache
+}
+
+// likeDyn pairs a pattern string with its matcher for DynCache.
+type likeDyn struct {
+	pat string
+	m   any
+}
+
+// DynCache returns the cached value when the last-seen pattern matches key,
+// rebuilding and re-storing otherwise. Loads and stores are atomic, so
+// concurrent evaluators at worst rebuild redundantly — they never race.
+func (e *Like) DynCache(key string, build func() any) any {
+	if c, ok := e.dyn.Load().(likeDyn); ok && c.pat == key {
+		return c.m
+	}
+	m := build()
+	e.dyn.Store(likeDyn{pat: key, m: m})
+	return m
 }
 
 // When is one WHEN ... THEN ... arm of a CASE.
