@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race bench-parallel bench lint-hotpath
+.PHONY: build test verify vet race bench-parallel bench bench-compare lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector gate for the concurrent paths (operator worker pools,
-# spreadsheet PEs, spill store). Slower than `make test`; run before merging
+# spreadsheet PEs, parallel partition build, chunked external sort, async
+# spill writer/prefetcher). The suite exercises every data-movement knob —
+# DisableParallelBuild / DisableParallelSort / DisableAsyncSpill on and off —
+# with Workers>1 (TestConcurrentDataMovement, TestDataMovementConfigsPreserveResults,
+# TestStatsConcurrentWithIO). Slower than `make test`; run before merging
 # changes that touch goroutines or shared state.
 race: vet
 	$(GO) test -race ./...
@@ -51,3 +55,14 @@ bench-parallel:
 # counts (see BENCH_eval.json for a recorded baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompiled(Filter|SpreadsheetProbe)' -cpu 1,2,4 -benchmem .
+
+# Data-movement benchmarks (parallel partition build, external merge sort,
+# spill-store throughput) swept across core counts. cmd/benchjson diffs the
+# run against the checked-in BENCH_storage.json baseline and rewrites it; drop
+# the rewrite by deleting `-out` if you only want the comparison.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelBuild$$|BenchmarkExternalSort|BenchmarkSpillThroughput' \
+		-cpu 1,4 -benchmem ./... | \
+	$(GO) run ./cmd/benchjson -diff BENCH_storage.json -out BENCH_storage.json \
+		-command "make bench-compare" \
+		-note "data-movement baselines: partition build, external merge sort, spill throughput"

@@ -8,6 +8,7 @@ package sqlsheet_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -135,9 +136,13 @@ func BenchmarkFig5Memory(b *testing.B) {
 	}
 	largest := res.Rows[0][3].Int() * 260
 	q := experiments.S5Query(1, nil)
+	// SQLSHEET_SYNC_SPILL=1 reverts to synchronous eviction/reload for the
+	// async-spill ablation described in EXPERIMENTS.md (Fig. 5 re-run).
+	syncSpill := os.Getenv("SQLSHEET_SYNC_SPILL") != ""
 	for _, pct := range []int{30, 60, 100, 120} {
 		b.Run(fmt.Sprintf("pct=%d", pct), func(b *testing.B) {
-			db.Configure(sqlsheet.Config{MemoryBudget: largest * int64(pct) / 100, Buckets: 8, SpillDir: b.TempDir()})
+			db.Configure(sqlsheet.Config{MemoryBudget: largest * int64(pct) / 100, Buckets: 8,
+				SpillDir: b.TempDir(), DisableAsyncSpill: syncSpill})
 			runQuery(b, db, q)
 		})
 	}

@@ -115,6 +115,15 @@ type Config struct {
 	// UseBTreeIndex swaps the spreadsheet's cell hash tables for B-trees
 	// (the paper's abandoned first access method; ablation only).
 	UseBTreeIndex bool
+	// DisableParallelBuild forces the serial partition build; the access
+	// structure (and every result byte) is identical either way.
+	DisableParallelBuild bool
+	// DisableParallelSort forces serial ORDER BY / window ordering; results
+	// are byte-identical either way.
+	DisableParallelSort bool
+	// DisableAsyncSpill keeps spill stores on synchronous eviction writes
+	// and disables read-ahead; results are byte-identical either way.
+	DisableAsyncSpill bool
 	// PromoteIndependentDims enables S4-style duplication of an
 	// independent dimension into the distribution key when PBY is empty.
 	PromoteIndependentDims bool
@@ -359,16 +368,19 @@ func ToValue(v any) Value {
 func (db *DB) newExecutor() *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
-		Parallel:            o.Parallel,
-		Workers:             o.Workers,
-		MorselSize:          o.MorselSize,
-		Buckets:             o.Buckets,
-		MemoryBudget:        o.MemoryBudget,
-		SpillDir:            o.SpillDir,
-		DisableSingleScan:   o.DisableSingleScan,
-		DisableRangeProbe:   o.DisableRangeProbe,
-		UseBTreeIndex:       o.UseBTreeIndex,
-		DisableCompiledEval: o.DisableCompiledEval,
+		Parallel:             o.Parallel,
+		Workers:              o.Workers,
+		MorselSize:           o.MorselSize,
+		Buckets:              o.Buckets,
+		MemoryBudget:         o.MemoryBudget,
+		SpillDir:             o.SpillDir,
+		DisableSingleScan:    o.DisableSingleScan,
+		DisableRangeProbe:    o.DisableRangeProbe,
+		UseBTreeIndex:        o.UseBTreeIndex,
+		DisableCompiledEval:  o.DisableCompiledEval,
+		DisableParallelBuild: o.DisableParallelBuild,
+		DisableParallelSort:  o.DisableParallelSort,
+		DisableAsyncSpill:    o.DisableAsyncSpill,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -382,6 +394,8 @@ func (db *DB) newExecutor() *exec.Executor {
 		Workers:                o.Workers,
 		PromoteIndependentDims: o.PromoteIndependentDims,
 		EnableMVRewrite:        o.EnableMVRewrite,
+		DisableParallelBuild:   o.DisableParallelBuild,
+		DisableParallelSort:    o.DisableParallelSort,
 		Exec:                   ex,
 	}
 	return ex

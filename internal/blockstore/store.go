@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"sqlsheet/internal/types"
 )
@@ -46,10 +47,52 @@ type Store interface {
 
 // Stats counts block-level I/O performed by a store.
 type Stats struct {
-	BlockLoads     int64 // blocks read back from spill
-	BlockEvictions int64 // blocks written out
-	BytesSpilled   int64
-	BytesLoaded    int64
+	BlockLoads      int64 // blocks read back from spill
+	BlockEvictions  int64 // blocks written out
+	BytesSpilled    int64
+	BytesLoaded     int64
+	SpillWrites     int64 // physical pwrite calls issued to the spill file
+	CoalescedBlocks int64 // dirty blocks folded into an adjacent block's pwrite
+	PrefetchHits    int64 // block loads served by the sequential read-ahead buffer
+}
+
+// Add accumulates another store's statistics into s.
+func (s *Stats) Add(o Stats) {
+	s.BlockLoads += o.BlockLoads
+	s.BlockEvictions += o.BlockEvictions
+	s.BytesSpilled += o.BytesSpilled
+	s.BytesLoaded += o.BytesLoaded
+	s.SpillWrites += o.SpillWrites
+	s.CoalescedBlocks += o.CoalescedBlocks
+	s.PrefetchHits += o.PrefetchHits
+}
+
+// counters is the store-internal mutable form of Stats. Every field is an
+// atomic so that Stats() is safe to call concurrently with Append/Get/Set —
+// including from outside the store mutex — and so the background spill
+// writer and prefetcher can report I/O without taking that mutex. The
+// snapshot loads each counter atomically; counters are monotonic, so the
+// snapshot is a consistent lower bound of the true totals at return time.
+type counters struct {
+	blockLoads      atomic.Int64
+	blockEvictions  atomic.Int64
+	bytesSpilled    atomic.Int64
+	bytesLoaded     atomic.Int64
+	spillWrites     atomic.Int64
+	coalescedBlocks atomic.Int64
+	prefetchHits    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		BlockLoads:      c.blockLoads.Load(),
+		BlockEvictions:  c.blockEvictions.Load(),
+		BytesSpilled:    c.bytesSpilled.Load(),
+		BytesLoaded:     c.bytesLoaded.Load(),
+		SpillWrites:     c.spillWrites.Load(),
+		CoalescedBlocks: c.coalescedBlocks.Load(),
+		PrefetchHits:    c.prefetchHits.Load(),
+	}
 }
 
 // MemStore is the unbounded in-memory store used when the partition fits.
@@ -92,6 +135,12 @@ type Config struct {
 	RowsPerBlock int
 	// Dir is the spill directory (default os.TempDir()).
 	Dir string
+	// Async enables background spill I/O: dirty evictions are handed to a
+	// writer goroutine that coalesces blocks bound for adjacent file offsets
+	// into single pwrites (double-buffered eviction), and sequential Get
+	// patterns trigger read-ahead of the next block. Results are identical
+	// to synchronous spilling; only the I/O schedule changes.
+	Async bool
 }
 
 type block struct {
@@ -120,9 +169,34 @@ type SpillStore struct {
 	tick     int64
 	file     *os.File
 	fileEnd  int64
-	stats    Stats
+	stats    counters
 	nrows    int
 	codec    codec
+
+	// Async-spill state (nil/zero when cfg.Async is off or nothing has
+	// spilled yet). pending holds encoded blocks whose pwrite has not
+	// completed; reads of those blocks decode from memory instead of the
+	// file. prefetched holds read-ahead block images keyed by block index.
+	wr         *ioQueue
+	pf         *ioQueue
+	pending    map[int32]pendingBlock
+	prefetched map[int32]diskImage
+	lastGet    int32 // previous Get's block index (sequential detection)
+}
+
+// pendingBlock is an encoded block awaiting its background write. off
+// identifies the version: a block re-evicted before its previous image hit
+// disk gets a new offset, and only the matching version may be dropped from
+// the pending set once written.
+type pendingBlock struct {
+	off  int64
+	data []byte
+}
+
+// diskImage is a block image read (or about to be read) from the spill file.
+type diskImage struct {
+	off  int64
+	data []byte
 }
 
 // NewSpill creates a budgeted spilling store.
@@ -130,7 +204,7 @@ func NewSpill(cfg Config) *SpillStore {
 	if cfg.RowsPerBlock <= 0 {
 		cfg.RowsPerBlock = 128
 	}
-	return &SpillStore{cfg: cfg}
+	return &SpillStore{cfg: cfg, lastGet: -2}
 }
 
 // Append implements Store.
@@ -176,8 +250,38 @@ func (s *SpillStore) Get(id RowID) types.Row {
 		s.load(id.Block)
 	}
 	s.touch(b)
+	s.maybePrefetch(id.Block)
 	s.enforceBudget(id.Block)
 	return b.rows[id.Slot]
+}
+
+// maybePrefetch schedules a read-ahead of block cur+1 when Gets are walking
+// blocks sequentially (cur follows the previous Get's block). Called with
+// s.mu held.
+func (s *SpillStore) maybePrefetch(cur int32) {
+	prev := s.lastGet
+	s.lastGet = cur
+	if s.pf == nil || cur != prev+1 {
+		return
+	}
+	next := cur + 1
+	if int(next) >= len(s.blocks) || len(s.prefetched) >= prefetchWindow {
+		return
+	}
+	nb := s.blocks[next]
+	if nb.rows != nil || nb.length == 0 {
+		return // resident, or nothing on disk to read
+	}
+	if _, ok := s.pending[next]; ok {
+		return // its bytes are still in memory; load hits the pending set
+	}
+	if _, ok := s.prefetched[next]; ok {
+		return
+	}
+	// Reserve the slot so the request is not re-issued before it completes;
+	// the prefetcher replaces the placeholder with the block image.
+	s.prefetched[next] = diskImage{off: -1}
+	s.pf.push(ioReq{idx: next, off: nb.off, length: nb.length})
 }
 
 // Set implements Store.
@@ -205,17 +309,28 @@ func (s *SpillStore) Len() int {
 	return s.nrows
 }
 
-// Stats implements Store.
-func (s *SpillStore) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+// Stats implements Store. It is safe to call concurrently with any other
+// store method: the counters are atomics, so no lock is taken and callers
+// polling progress never contend with the I/O path.
+func (s *SpillStore) Stats() Stats { return s.stats.snapshot() }
 
-// Close removes the spill file.
+// Close drains the background I/O goroutines and removes the spill file.
 func (s *SpillStore) Close() error {
 	s.mu.Lock()
+	wr, pf := s.wr, s.pf
+	s.wr, s.pf = nil, nil
+	s.mu.Unlock()
+	// Join outside the mutex: the writer takes s.mu to retire pending
+	// entries after each batch.
+	if wr != nil {
+		wr.close()
+	}
+	if pf != nil {
+		pf.close()
+	}
+	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pending, s.prefetched = nil, nil
 	if s.file == nil {
 		return nil
 	}
@@ -270,26 +385,53 @@ func (s *SpillStore) enforceBudget(keep int32) {
 	}
 }
 
+// ensureFile lazily creates the spill file and, in async mode, starts the
+// background writer and prefetcher. Called with s.mu held, before the first
+// spill write.
+func (s *SpillStore) ensureFile() {
+	if s.file != nil {
+		return
+	}
+	f, err := os.CreateTemp(s.cfg.Dir, "sqlsheet-spill-*.dat")
+	if err != nil {
+		panic(fmt.Sprintf("blockstore: create spill file: %v", err))
+	}
+	s.file = f
+	if s.cfg.Async {
+		s.pending = make(map[int32]pendingBlock)
+		s.prefetched = make(map[int32]diskImage)
+		s.wr = newIOQueue()
+		s.pf = newIOQueue()
+		go s.writeLoop(s.wr)
+		go s.prefetchLoop(s.pf)
+	}
+}
+
 func (s *SpillStore) evict(i int32) {
 	b := s.blocks[i]
 	if b.dirty {
 		data := s.codec.encodeBlock(b.rows)
-		if s.file == nil {
-			f, err := os.CreateTemp(s.cfg.Dir, "sqlsheet-spill-*.dat")
-			if err != nil {
-				panic(fmt.Sprintf("blockstore: create spill file: %v", err))
-			}
-			s.file = f
-		}
-		if _, err := s.file.WriteAt(data, s.fileEnd); err != nil {
-			panic(fmt.Sprintf("blockstore: spill write: %v", err))
-		}
+		s.ensureFile()
 		b.off, b.length = s.fileEnd, int64(len(data))
 		s.fileEnd += int64(len(data))
-		s.stats.BytesSpilled += int64(len(data))
+		s.stats.bytesSpilled.Add(int64(len(data)))
 		b.dirty = false
+		if s.wr != nil {
+			// Hand the encoded image to the background writer. The block
+			// stays readable from the pending set until the pwrite lands;
+			// offsets are assigned here, under s.mu, so the writer sees
+			// requests in strictly increasing file order and can coalesce
+			// adjacent ones into single pwrites.
+			s.pending[i] = pendingBlock{off: b.off, data: data}
+			s.wr.push(ioReq{idx: i, off: b.off, data: data})
+		} else {
+			if _, err := s.file.WriteAt(data, b.off); err != nil {
+				panic(fmt.Sprintf("blockstore: spill write: %v", err))
+			}
+			s.stats.spillWrites.Add(1)
+		}
 	}
-	s.stats.BlockEvictions++
+	s.stats.blockEvictions.Add(1)
 	s.resident -= b.bytes
 	b.rows = nil
 	b.bytes = 0
@@ -297,6 +439,21 @@ func (s *SpillStore) evict(i int32) {
 
 func (s *SpillStore) load(i int32) {
 	b := s.blocks[i]
+	if p, ok := s.pending[i]; ok && p.off == b.off {
+		// Reload before the background write landed: decode straight from
+		// the in-memory image (the double-buffering win — no disk round
+		// trip for blocks evicted and touched again shortly after).
+		s.installBlock(i, b, p.data)
+		return
+	}
+	if img, ok := s.prefetched[i]; ok {
+		delete(s.prefetched, i)
+		if img.data != nil && img.off == b.off && int64(len(img.data)) == b.length {
+			s.stats.prefetchHits.Add(1)
+			s.installBlock(i, b, img.data)
+			return
+		}
+	}
 	if b.length == 0 {
 		// Never spilled with data; must have been evicted empty.
 		b.rows = make([]types.Row, 0, s.cfg.RowsPerBlock)
@@ -306,6 +463,12 @@ func (s *SpillStore) load(i int32) {
 	if _, err := s.file.ReadAt(data, b.off); err != nil {
 		panic(fmt.Sprintf("blockstore: spill read: %v", err))
 	}
+	s.installBlock(i, b, data)
+}
+
+// installBlock decodes an encoded block image into block b and charges the
+// load to the budget and statistics. Called with s.mu held.
+func (s *SpillStore) installBlock(i int32, b *block, data []byte) {
 	rows, err := s.codec.decodeBlock(data)
 	if err != nil {
 		panic(fmt.Sprintf("blockstore: decode: %v", err))
@@ -315,8 +478,8 @@ func (s *SpillStore) load(i int32) {
 		b.bytes += rowBytes(r)
 	}
 	s.resident += b.bytes
-	s.stats.BlockLoads++
-	s.stats.BytesLoaded += b.length
+	s.stats.blockLoads.Add(1)
+	s.stats.bytesLoaded.Add(int64(len(data)))
 	s.enforceBudget(i)
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"sqlsheet/internal/types"
 )
@@ -112,10 +113,19 @@ func TestSpillStoreSetAfterEviction(t *testing.T) {
 }
 
 func TestSpillStoreReadYourWritesProperty(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(map[bool]string{false: "sync", true: "async"}[async], func(t *testing.T) {
+			testReadYourWrites(t, async)
+		})
+	}
+}
+
+func testReadYourWrites(t *testing.T, async bool) {
 	// Property: under an arbitrary tiny budget, a random sequence of
-	// appends/sets/gets behaves exactly like a plain slice.
+	// appends/sets/gets behaves exactly like a plain slice — with or
+	// without background spill I/O.
 	f := func(ops []uint16, budget uint16) bool {
-		s := NewSpill(Config{BudgetBytes: int64(budget%4000) + 200, RowsPerBlock: 3, Dir: t.TempDir()})
+		s := NewSpill(Config{BudgetBytes: int64(budget%4000) + 200, RowsPerBlock: 3, Dir: t.TempDir(), Async: async})
 		defer s.Close()
 		var mirror []types.Row
 		var ids []RowID
@@ -156,6 +166,155 @@ func TestSpillStoreReadYourWritesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAsyncSpillCoalescesWrites(t *testing.T) {
+	// A bulk load past a tight budget evicts waves of blocks with adjacent
+	// file offsets; the background writer must fold them into fewer pwrites.
+	s := NewSpill(Config{BudgetBytes: 1024, RowsPerBlock: 4, Dir: t.TempDir(), Async: true})
+	var ids []RowID
+	for i := 0; i < 600; i++ {
+		ids = append(ids, s.Append(row(i, fmt.Sprintf("payload-%d", i))))
+	}
+	// Read everything back before Close so the data path (pending buffers +
+	// file) is exercised, not just the shutdown flush.
+	for i, id := range ids {
+		if got := s.Get(id); got[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v", i, got)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BlockEvictions == 0 || st.BytesSpilled == 0 {
+		t.Fatalf("expected spill traffic: %+v", st)
+	}
+	if st.CoalescedBlocks == 0 {
+		t.Errorf("expected coalesced writes, got %+v", st)
+	}
+	// Every physical write wrote >= 1 block; coalesced blocks rode along on
+	// one of them; no write can exceed the eviction count.
+	if st.SpillWrites < 1 || st.SpillWrites+st.CoalescedBlocks > st.BlockEvictions {
+		t.Errorf("write accounting inconsistent: %+v", st)
+	}
+}
+
+// waitSpillDrained polls until the background writer has retired every
+// pending block (bounded; the store stays usable either way).
+func waitSpillDrained(s *SpillStore) {
+	for i := 0; i < 5000; i++ {
+		s.mu.Lock()
+		n := len(s.pending)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// waitPrefetched polls until block idx's read-ahead reservation resolves —
+// filled, consumed, or cancelled — giving the single-core test scheduler a
+// yield point so the prefetcher can actually run.
+func waitPrefetched(s *SpillStore, idx int32) {
+	for i := 0; i < 5000; i++ {
+		s.mu.Lock()
+		img, reserved := s.prefetched[idx]
+		s.mu.Unlock()
+		if !reserved || img.data != nil {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestAsyncSpillSequentialPrefetch(t *testing.T) {
+	s := NewSpill(Config{BudgetBytes: 900, RowsPerBlock: 4, Dir: t.TempDir(), Async: true})
+	defer s.Close()
+	const n = 400
+	ids := make([]RowID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = s.Append(row(i, "abcdefgh"))
+	}
+	// Let the background writer land everything so the scan reads from the
+	// file (pending-set hits would mask the read-ahead path).
+	waitSpillDrained(s)
+	// A sequential scan over the (mostly evicted) store should trigger
+	// read-ahead. Gets within a block give the prefetcher time; at each
+	// block boundary, wait for the outstanding reservation to resolve so
+	// the test is deterministic on a single-core host.
+	for i := 0; i < n; i++ {
+		if got := s.Get(ids[i]); got[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v", i, got)
+		}
+		s.mu.Lock()
+		blk := ids[i].Block
+		s.mu.Unlock()
+		waitPrefetched(s, blk+1)
+	}
+	if hits := s.Stats().PrefetchHits; hits == 0 {
+		t.Errorf("sequential scan produced no prefetch hits: %+v", s.Stats())
+	}
+}
+
+// TestStatsConcurrentWithIO hammers Append/Get/Set from writer goroutines
+// while readers poll Stats() — the counters are atomics, so Stats must be
+// safe (and non-blocking) under -race in both sync and async modes.
+func TestStatsConcurrentWithIO(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(map[bool]string{false: "sync", true: "async"}[async], func(t *testing.T) {
+			s := NewSpill(Config{BudgetBytes: 1500, RowsPerBlock: 4, Dir: t.TempDir(), Async: async})
+			defer s.Close()
+			const seed = 256
+			ids := make([]RowID, seed)
+			for i := range ids {
+				ids[i] = s.Append(row(i, "seed"))
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < 400; i++ {
+						j := rng.Intn(seed)
+						switch i % 3 {
+						case 0:
+							s.Get(ids[j])
+						case 1:
+							s.Set(ids[j], row(j, "upd"))
+						default:
+							s.Append(row(i, "new"))
+						}
+					}
+				}(g)
+			}
+			statsDone := make(chan struct{})
+			go func() {
+				defer close(statsDone)
+				var prev Stats
+				for {
+					st := s.Stats()
+					// Counters are monotonic; a snapshot may never go back.
+					if st.BlockLoads < prev.BlockLoads || st.BytesSpilled < prev.BytesSpilled {
+						t.Error("stats went backwards")
+						return
+					}
+					prev = st
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			<-statsDone
+		})
 	}
 }
 

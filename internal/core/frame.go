@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/btree"
 	"sqlsheet/internal/types"
@@ -109,88 +106,7 @@ func BuildPartitionsBTree(m *Model, rows []types.Row, nBuckets int, newStore Sto
 }
 
 func buildPartitions(m *Model, rows []types.Row, nBuckets int, newStore StoreFactory, useBTree bool) (*PartitionSet, error) {
-	if nBuckets < 1 {
-		nBuckets = 1
-	}
-	ps := &PartitionSet{model: m}
-	ps.buckets = make([]*bucket, nBuckets)
-	for i := range ps.buckets {
-		ps.buckets[i] = &bucket{store: newStore(), byKey: make(map[string]*Frame)}
-	}
-	// Pass 1: assign rows to frames, recording input positions per frame.
-	var keyBuf []byte
-	framePos := make(map[*Frame][]int)
-	for ri, row := range rows {
-		keyBuf = keyBuf[:0]
-		for i := 0; i < m.NPby; i++ {
-			keyBuf = types.AppendKey(keyBuf, row[i])
-		}
-		b := ps.buckets[bucketOf(keyBuf, nBuckets)]
-		f := b.byKey[string(keyBuf)]
-		if f == nil {
-			f = &Frame{
-				b:       b,
-				pby:     append([]types.Value(nil), row[:m.NPby]...),
-				present: make(map[string]bool),
-			}
-			if useBTree {
-				f.bidx = btree.New()
-			} else {
-				f.index = make(map[string]int)
-			}
-			b.byKey[string(keyBuf)] = f
-			b.frames = append(b.frames, f)
-		}
-		framePos[f] = append(framePos[f], ri)
-	}
-	// Pass 2: append frame by frame so each partition's rows stay
-	// block-clustered within its bucket's store, in second-level hash
-	// order within the frame (a hash table lays records out by bucket, not
-	// by insertion or key order — which is what makes memory pressure bite
-	// once a partition stops fitting, Fig. 5).
-	for _, b := range ps.buckets {
-		for _, f := range b.frames {
-			poss := framePos[f]
-			// Precompute each row's second-level hash once; sorting with
-			// per-comparison key construction would allocate O(n log n)
-			// strings.
-			hashes := make([]uint32, len(poss))
-			var kb []byte
-			for i, ri := range poss {
-				kb = kb[:0]
-				for d := 0; d < m.NDby; d++ {
-					kb = types.AppendKey(kb, rows[ri][m.NPby+d])
-				}
-				hashes[i] = hashBytes(kb)
-			}
-			order := make([]int, len(poss))
-			for i := range order {
-				order[i] = i
-			}
-			sort.SliceStable(order, func(i, j int) bool { return hashes[order[i]] < hashes[order[j]] })
-			sorted := make([]int, len(poss))
-			for k, oi := range order {
-				sorted[k] = poss[oi]
-			}
-			for _, ri := range sorted {
-				row := rows[ri]
-				kb = kb[:0]
-				for d := 0; d < m.NDby; d++ {
-					kb = types.AppendKey(kb, row[m.NPby+d])
-				}
-				if _, dup := f.lookupKey(kb); dup {
-					return nil, fmt.Errorf("spreadsheet: DBY columns (%s) do not uniquely identify row %v within its partition",
-						joinNames(m.DimNames()), row[m.NPby:m.NPby+m.NDby])
-				}
-				id := b.store.Append(row.Clone())
-				dk := string(kb) // stored in index and present set
-				f.putKey(dk, len(f.ids))
-				f.ids = append(f.ids, id)
-				f.present[dk] = true
-			}
-		}
-	}
-	return ps, nil
+	return BuildPartitionsOpts(m, rows, nBuckets, newStore, BuildOptions{UseBTree: useBTree})
 }
 
 func joinNames(ns []string) string {
@@ -208,19 +124,26 @@ func bucketOf(key []byte, n int) int {
 	return int(hashBytes(key)) % n
 }
 
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// hashExtend folds more bytes into a running FNV-1a hash. The build path
+// extends the hash over each key segment as it is encoded, so bucket
+// selection never re-traverses the key bytes.
+func hashExtend(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
 // hashBytes gives the second-level hash ordering of an encoded DBY key
 // (FNV-1a, computed inline so per-row hashing does not allocate a hasher).
 func hashBytes(key []byte) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
-	}
-	return h
+	return hashExtend(fnvOffset32, key)
 }
 
 // HashValue exposes the bucket hash for a single dimension value; the
@@ -273,11 +196,7 @@ func (ps *PartitionSet) Rows(updatedOnly bool) []types.Row {
 func (ps *PartitionSet) Stats() blockstore.Stats {
 	var s blockstore.Stats
 	for _, b := range ps.buckets {
-		bs := b.store.Stats()
-		s.BlockLoads += bs.BlockLoads
-		s.BlockEvictions += bs.BlockEvictions
-		s.BytesSpilled += bs.BytesSpilled
-		s.BytesLoaded += bs.BytesLoaded
+		s.Add(b.store.Stats())
 	}
 	return s
 }

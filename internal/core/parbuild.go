@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sqlsheet/internal/btree"
+	"sqlsheet/internal/types"
+)
+
+// Parallel partition build. The access structure is built in two phases that
+// mirror the serial two-pass loop but decompose along axes with no shared
+// state:
+//
+//  1. Scan: workers take morsel-sized row ranges in input order and encode
+//     every row's PBY and DBY keys into chunk-local arenas, folding the
+//     first-level bucket hash into the same FNV-1a pass that encodes the key
+//     bytes. Chunks only write their own arrays, so this phase needs no
+//     locking at all.
+//  2. Assemble: workers take whole first-level buckets. Each bucket walks the
+//     chunks in input order, creating frames in first-seen order and
+//     collecting its rows' positions, then sorts each frame's rows by
+//     second-level hash and appends them to the bucket's private store.
+//     Buckets share nothing (each owns its store, frame list and key map),
+//     so this phase is also lock-free.
+//
+// Because chunk boundaries are a pure function of the input size and phase 2
+// visits rows in global input order regardless of which worker scanned them,
+// the resulting PartitionSet is byte-identical to the serial build for any
+// worker count.
+
+// buildMorsel is the number of rows one scan task encodes at a time.
+const buildMorsel = 4096
+
+// BuildOptions selects the second-level access method and the build
+// parallelism.
+type BuildOptions struct {
+	// UseBTree swaps the second-level hash tables for B-trees (ablation).
+	UseBTree bool
+	// Workers is the number of build workers; <=1 builds serially. The
+	// output is identical for every value.
+	Workers int
+}
+
+// buildChunk holds one scan task's encoded keys. Key bytes live in flat
+// arenas addressed by prefix offsets; the arenas stay alive until assembly
+// finishes, so frame entries can alias them instead of copying.
+type buildChunk struct {
+	lo      int     // global index of the chunk's first row
+	bucket  []int32 // first-level bucket per row
+	pbyOff  []int32 // prefix offsets into pbyFlat (len rows+1)
+	pbyFlat []byte
+	dbyOff  []int32 // prefix offsets into dbyFlat (len rows+1)
+	dbyFlat []byte
+	dbyHash []uint32 // second-level hash per row
+}
+
+// frameEntry is one row routed to a frame: its global input position, its
+// second-level hash, and its encoded DBY key (aliasing the chunk arena).
+type frameEntry struct {
+	ri   int
+	hash uint32
+	key  []byte
+}
+
+// BuildPartitionsOpts builds the two-level access structure with explicit
+// build options. See BuildPartitions for the structure's invariants.
+func BuildPartitionsOpts(m *Model, rows []types.Row, nBuckets int, newStore StoreFactory, o BuildOptions) (*PartitionSet, error) {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	ps := &PartitionSet{model: m}
+	ps.buckets = make([]*bucket, nBuckets)
+	for i := range ps.buckets {
+		ps.buckets[i] = &bucket{store: newStore(), byKey: make(map[string]*Frame)}
+	}
+	nChunks := (len(rows) + buildMorsel - 1) / buildMorsel
+	chunks := make([]*buildChunk, nChunks)
+	runBuildTasks(o.Workers, nChunks, func(ci int) {
+		lo := ci * buildMorsel
+		hi := min(lo+buildMorsel, len(rows))
+		chunks[ci] = scanChunk(m, rows, lo, hi, nBuckets)
+	})
+	errs := make([]error, nBuckets)
+	runBuildTasks(o.Workers, nBuckets, func(bi int) {
+		errs[bi] = assembleBucket(m, ps.buckets[bi], rows, chunks, int32(bi), o.UseBTree)
+	})
+	for _, err := range errs {
+		if err != nil {
+			// Lowest bucket index wins, matching the serial build's
+			// bucket-order error. Release the stores: the caller never sees
+			// the partial structure.
+			ps.Close()
+			return nil, err
+		}
+	}
+	return ps, nil
+}
+
+// runBuildTasks runs fn(i) for every i in [0,n) across min(workers, n)
+// goroutines (the caller is one of them). Tasks write disjoint output slots,
+// so the only shared state is the claim counter.
+func runBuildTasks(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	wg.Wait()
+}
+
+// scanChunk encodes rows [lo,hi) into a chunk arena. Both hashes are folded
+// into the same pass that appends the key bytes, so each key byte is touched
+// exactly once.
+func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int) *buildChunk {
+	n := hi - lo
+	c := &buildChunk{
+		lo:      lo,
+		bucket:  make([]int32, n),
+		pbyOff:  make([]int32, n+1),
+		dbyOff:  make([]int32, n+1),
+		dbyHash: make([]uint32, n),
+	}
+	for i := 0; i < n; i++ {
+		row := rows[lo+i]
+		h := uint32(fnvOffset32)
+		for p := 0; p < m.NPby; p++ {
+			pre := len(c.pbyFlat)
+			c.pbyFlat = types.AppendKey(c.pbyFlat, row[p])
+			h = hashExtend(h, c.pbyFlat[pre:])
+		}
+		c.pbyOff[i+1] = int32(len(c.pbyFlat))
+		c.bucket[i] = int32(int(h) % nBuckets)
+		h = fnvOffset32
+		for d := 0; d < m.NDby; d++ {
+			pre := len(c.dbyFlat)
+			c.dbyFlat = types.AppendKey(c.dbyFlat, row[m.NPby+d])
+			h = hashExtend(h, c.dbyFlat[pre:])
+		}
+		c.dbyOff[i+1] = int32(len(c.dbyFlat))
+		c.dbyHash[i] = h
+	}
+	return c
+}
+
+// assembleBucket routes the bucket's rows to frames (first-seen order, input
+// order within each frame), then appends each frame's rows to the bucket
+// store in second-level hash order so partitions stay block-clustered — the
+// same layout the serial build produces ("the hash access structure maintains
+// records within a hash bucket clustered on PBY and DBY column values").
+func assembleBucket(m *Model, b *bucket, rows []types.Row, chunks []*buildChunk, bi int32, useBTree bool) error {
+	slot := make(map[*Frame]int)
+	var ents [][]frameEntry
+	for _, c := range chunks {
+		for i, cb := range c.bucket {
+			if cb != bi {
+				continue
+			}
+			pk := c.pbyFlat[c.pbyOff[i]:c.pbyOff[i+1]]
+			f := b.byKey[string(pk)]
+			if f == nil {
+				f = &Frame{
+					b:       b,
+					pby:     append([]types.Value(nil), rows[c.lo+i][:m.NPby]...),
+					present: make(map[string]bool),
+				}
+				if useBTree {
+					f.bidx = btree.New()
+				} else {
+					f.index = make(map[string]int)
+				}
+				b.byKey[string(pk)] = f
+				b.frames = append(b.frames, f)
+				slot[f] = len(ents)
+				ents = append(ents, nil)
+			}
+			ents[slot[f]] = append(ents[slot[f]], frameEntry{
+				ri:   c.lo + i,
+				hash: c.dbyHash[i],
+				key:  c.dbyFlat[c.dbyOff[i]:c.dbyOff[i+1]],
+			})
+		}
+	}
+	for fi, f := range b.frames {
+		es := ents[fi]
+		// Stable on hash: ties keep input order, exactly like the serial
+		// build's order-index sort.
+		sort.SliceStable(es, func(i, j int) bool { return es[i].hash < es[j].hash })
+		for _, e := range es {
+			if _, dup := f.lookupKey(e.key); dup {
+				return fmt.Errorf("spreadsheet: DBY columns (%s) do not uniquely identify row %v within its partition",
+					joinNames(m.DimNames()), rows[e.ri][m.NPby:m.NPby+m.NDby])
+			}
+			id := b.store.Append(rows[e.ri].Clone())
+			dk := string(e.key) // stored in index and present set
+			f.putKey(dk, len(f.ids))
+			f.ids = append(f.ids, id)
+			f.present[dk] = true
+		}
+	}
+	return nil
+}

@@ -24,6 +24,9 @@ type PromotedDim struct {
 type RunOptions struct {
 	// Parallel is the number of processing elements (PEs); <=1 is serial.
 	Parallel int
+	// BuildWorkers is the number of workers for the partition build; <=1
+	// builds serially. The structure produced is identical either way.
+	BuildWorkers int
 	// Buckets overrides the number of first-level hash partitions.
 	Buckets int
 	// NewStore supplies the per-bucket row store; nil uses in-memory.
@@ -71,11 +74,10 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 			nb = 1
 		}
 	}
-	build := BuildPartitions
-	if opts.UseBTreeIndex {
-		build = BuildPartitionsBTree
-	}
-	ps, err := build(m, rows, nb, newStore)
+	ps, err := BuildPartitionsOpts(m, rows, nb, newStore, BuildOptions{
+		UseBTree: opts.UseBTreeIndex,
+		Workers:  opts.BuildWorkers,
+	})
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}

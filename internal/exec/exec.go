@@ -49,6 +49,15 @@ type Options struct {
 	// interpreter (ablation knob; results are byte-identical either way).
 	// The plan side carries the same flag in plan.Options.
 	DisableCompiledEval bool
+	// DisableParallelBuild forces the serial partition build (ablation;
+	// the structure built is byte-identical either way).
+	DisableParallelBuild bool
+	// DisableParallelSort forces serial run sorting for ORDER BY and window
+	// partition ordering (ablation; identical bytes either way).
+	DisableParallelSort bool
+	// DisableAsyncSpill keeps spill stores on synchronous eviction I/O and
+	// disables read-ahead (ablation; identical bytes either way).
+	DisableAsyncSpill bool
 	// PlanOpts is used when the executor plans subqueries itself.
 	PlanOpts *plan.Options
 }
@@ -345,48 +354,6 @@ func anyHasSubquery(es []sqlast.Expr) bool {
 		}
 	}
 	return false
-}
-
-func (ex *Executor) execSort(n *plan.Sort, outer *eval.Binding) (*Result, error) {
-	in, err := ex.Execute(n.Input, outer)
-	if err != nil {
-		return nil, err
-	}
-	type keyed struct {
-		row  types.Row
-		keys []types.Value
-	}
-	ctx := ex.ctx(in.Schema, nil, outer)
-	ks := make([]keyed, len(in.Rows))
-	for i, r := range in.Rows {
-		ctx.Binding.Row = r
-		keys := make([]types.Value, len(n.Items))
-		for j, it := range n.Items {
-			v, err := evalC(ctx, pickC(n.ItemsC, j), it.Expr)
-			if err != nil {
-				return nil, err
-			}
-			keys[j] = v
-		}
-		ks[i] = keyed{row: r, keys: keys}
-	}
-	stableSort(ks, func(a, b keyed) int {
-		for j := range a.keys {
-			c := types.Compare(a.keys[j], b.keys[j])
-			if n.Items[j].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c
-			}
-		}
-		return 0
-	})
-	rows := make([]types.Row, len(ks))
-	for i := range ks {
-		rows[i] = ks[i].row
-	}
-	return &Result{Schema: n.Schema(), Rows: rows}, nil
 }
 
 // stableSort is a bottom-up merge sort (stable, no stdlib sort.Slice churn

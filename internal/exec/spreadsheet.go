@@ -34,8 +34,9 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	newStore := func() blockstore.Store { return blockstore.NewMem() }
 	if ex.Opts.MemoryBudget > 0 {
 		budget, dir := ex.Opts.MemoryBudget, ex.Opts.SpillDir
+		async := !ex.Opts.DisableAsyncSpill
 		newStore = func() blockstore.Store {
-			return blockstore.NewSpill(blockstore.Config{BudgetBytes: budget, Dir: dir, RowsPerBlock: 16})
+			return blockstore.NewSpill(blockstore.Config{BudgetBytes: budget, Dir: dir, RowsPerBlock: 16, Async: async})
 		}
 	}
 	// Bucket choice uses the requested PE count so partitioning (and
@@ -44,18 +45,34 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	if buckets <= 0 {
 		buckets = core.ChooseBuckets(len(in.Rows), 64, ex.Opts.MemoryBudget, ex.Opts.Parallel)
 	}
-	// Spreadsheet PEs draw from the same core budget as the operator worker
-	// pools, so Workers>1 plus Parallel>1 cannot oversubscribe the host:
-	// PE goroutines beyond the coordinator need a token each.
+	// Spreadsheet PEs and partition-build workers draw from the same core
+	// budget as the operator worker pools, so Workers>1 plus Parallel>1
+	// cannot oversubscribe the host. Build and PE evaluation are sequential
+	// phases inside Run, so one grant — sized for the larger of the two —
+	// covers both.
 	par := ex.Opts.Parallel
+	bw := ex.workers()
+	if ex.Opts.DisableParallelBuild {
+		bw = 1
+	}
+	need := par
+	if bw > need {
+		need = bw
+	}
 	granted := 0
-	if par > 1 {
-		granted = ex.bud.tryAcquire(par - 1)
+	if need > 1 {
+		granted = ex.bud.tryAcquire(need - 1)
+	}
+	if par > 1+granted {
 		par = 1 + granted
+	}
+	if bw > 1+granted {
+		bw = 1 + granted
 	}
 	start := time.Now()
 	rows, stats, err := n.Model.Run(in.Rows, core.RunOptions{
 		Parallel:            par,
+		BuildWorkers:        bw,
 		Buckets:             buckets,
 		NewStore:            newStore,
 		Subquery:            &runner{ex: ex},
@@ -73,10 +90,7 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		return nil, err
 	}
 	ex.mu.Lock()
-	ex.SheetStats.BlockLoads += stats.BlockLoads
-	ex.SheetStats.BlockEvictions += stats.BlockEvictions
-	ex.SheetStats.BytesSpilled += stats.BytesSpilled
-	ex.SheetStats.BytesLoaded += stats.BytesLoaded
+	ex.SheetStats.Add(stats)
 	ex.mu.Unlock()
 
 	if n.DropCols > 0 {

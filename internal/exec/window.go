@@ -87,11 +87,9 @@ func (ex *Executor) windowColumn(spec plan.WindowSpec, compiled map[sqlast.Expr]
 			}
 			keys[j] = ks
 		}
-		pos := make([]int, len(p.idx))
-		for j := range pos {
-			pos[j] = j
-		}
-		stableSort(pos, func(a, b int) int {
+		// Chunked parallel sort; stability keeps input order on ties, same
+		// as the former explicit a-b tie break.
+		pos := ex.sortedPerm("window-sort", len(p.idx), func(a, b int) int {
 			for oi := range spec.Fn.OrderBy {
 				c := types.Compare(keys[a][oi], keys[b][oi])
 				if spec.Fn.OrderBy[oi].Desc {
@@ -101,7 +99,7 @@ func (ex *Executor) windowColumn(spec plan.WindowSpec, compiled map[sqlast.Expr]
 					return c
 				}
 			}
-			return a - b
+			return 0
 		})
 		ordered := make([]int, len(pos)) // ordered[k] = row index of k-th row
 		okeys := make([][]types.Value, len(pos))

@@ -65,7 +65,13 @@ func (b *builder) buildStmt(stmt *sqlast.SelectStmt) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n = &Sort{Input: n, Items: items}
+		s := &Sort{Input: n, Items: items}
+		// Annotate only for an explicitly configured worker count: Workers=0
+		// means "all cores", which would make EXPLAIN machine-dependent.
+		if b.opts.Workers > 1 && !b.opts.DisableParallelSort {
+			s.Note = fmt.Sprintf("parallel chunked sort (%d workers, loser-tree merge)", b.opts.Workers)
+		}
+		n = s
 	}
 	if stmt.Limit != nil {
 		v, err := eval.Eval(&eval.Context{}, stmt.Limit)

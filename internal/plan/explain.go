@@ -101,6 +101,9 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 			}
 		}
 		fmt.Fprintf(b, "%sSort %s\n", pad, strings.Join(items, ", "))
+		if x.Note != "" {
+			fmt.Fprintf(b, "%s  * %s\n", pad, x.Note)
+		}
 		explainNode(b, x.Input, depth+1)
 	case *Limit:
 		fmt.Fprintf(b, "%sLimit %d\n", pad, x.N)

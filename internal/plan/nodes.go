@@ -130,6 +130,10 @@ type Sort struct {
 	Items []sqlast.OrderItem
 	// ItemsC aligns with Items (compiled sort-key extractors).
 	ItemsC []eval.CompiledExpr
+	// Note records the execution strategy for EXPLAIN (set only when the
+	// session configures an explicit worker count, so plans stay
+	// machine-independent).
+	Note string
 }
 
 // Limit keeps the first N rows.

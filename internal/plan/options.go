@@ -84,4 +84,9 @@ type Options struct {
 	// interpreter instead of the closure-compiled form (ablation knob; the
 	// two paths produce byte-identical results).
 	DisableCompiledEval bool
+	// DisableParallelBuild / DisableParallelSort mirror the executor's
+	// ablation knobs so EXPLAIN annotations reflect the paths a query will
+	// actually take; see exec.Options.
+	DisableParallelBuild bool
+	DisableParallelSort  bool
 }

@@ -97,6 +97,13 @@ func (b *builder) buildSpreadsheet(sc *sqlast.SpreadsheetClause, input Node) (*S
 		return nil, err
 	}
 	sheet := &Spreadsheet{Input: workProj, Model: model, RefPlans: refPlans}
+	// Annotate only for an explicitly configured worker count (Workers=0
+	// resolves to the core count at run time, which would make EXPLAIN
+	// output machine-dependent).
+	if b.opts.Workers > 1 && !b.opts.DisableParallelBuild {
+		sheet.Notes = append(sheet.Notes,
+			fmt.Sprintf("parallel partition build (%d workers)", b.opts.Workers))
+	}
 	if promote >= 0 {
 		sheet.Promoted = []core.PromotedDim{{Pby: 0, Dby: promote}}
 		sheet.Notes = append(sheet.Notes,
