@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race bench-parallel bench bench-compare lint-hotpath
+.PHONY: build test verify vet race bench-parallel bench bench-compare bench-cache lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -52,9 +52,20 @@ bench-parallel:
 
 # Compiled-evaluation benchmarks: expression-heavy filter and spreadsheet
 # cell-probe microbenchmarks, compiled vs interpreted, swept across core
-# counts (see BENCH_eval.json for a recorded baseline).
+# counts (see BENCH_eval.json for a recorded baseline). The serving-path
+# cache tiers ride along (cold / plan-only / warm; see BENCH_cache.json).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkCompiled(Filter|SpreadsheetProbe)' -cpu 1,2,4 -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkCompiled(Filter|SpreadsheetProbe)|BenchmarkRepeatedQuery' -cpu 1,2,4 -benchmem .
+
+# Serving-path cache benchmark: one repeated spreadsheet statement at each
+# cache tier — cold (DisablePlanCache), warm-plan-only (DisableResultCache:
+# cached plan + version-checked structure reuse) and warm (result hit).
+# cmd/benchjson diffs against the checked-in BENCH_cache.json and rewrites it.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'BenchmarkRepeatedQuery' -benchmem . | \
+	$(GO) run ./cmd/benchjson -diff BENCH_cache.json -out BENCH_cache.json \
+		-command "make bench-cache" \
+		-note "serving-path cache tiers: cold vs plan/structure reuse vs result hit"
 
 # Data-movement benchmarks (parallel partition build, external merge sort,
 # spill-store throughput) swept across core counts. cmd/benchjson diffs the

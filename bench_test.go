@@ -26,6 +26,10 @@ func setupBench(b *testing.B, cfg sqlsheet.Config) *sqlsheet.DB {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Benchmarks repeat one statement b.N times; with the serving-path cache
+	// warm they would measure a cache probe, not the engine.
+	// BenchmarkRepeatedQuery measures the cache itself.
+	cfg.DisablePlanCache = true
 	db.Configure(cfg)
 	return db
 }
@@ -46,6 +50,7 @@ func BenchmarkTable1(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	db.Configure(sqlsheet.Config{DisablePlanCache: true})
 	runQuery(b, db, `SELECT m, m_yago, m_qago FROM time_dt WHERE m IN ('1999-01','1999-02','1999-03')`)
 }
 
@@ -78,7 +83,9 @@ func BenchmarkFig2(b *testing.B) {
 		q := experiments.S5Query(3, base[:k])
 		for _, v := range variants {
 			b.Run(fmt.Sprintf("sel=%g/%s", sel, v.name), func(b *testing.B) {
-				db.Configure(v.cfg)
+				cfg := v.cfg
+				cfg.DisablePlanCache = true
+				db.Configure(cfg)
 				runQuery(b, db, q)
 			})
 		}
@@ -142,7 +149,7 @@ func BenchmarkFig5Memory(b *testing.B) {
 	for _, pct := range []int{30, 60, 100, 120} {
 		b.Run(fmt.Sprintf("pct=%d", pct), func(b *testing.B) {
 			db.Configure(sqlsheet.Config{MemoryBudget: largest * int64(pct) / 100, Buckets: 8,
-				SpillDir: b.TempDir(), DisableAsyncSpill: syncSpill})
+				SpillDir: b.TempDir(), DisableAsyncSpill: syncSpill, DisablePlanCache: true})
 			runQuery(b, db, q)
 		})
 	}
@@ -156,6 +163,7 @@ func BenchmarkAblation(b *testing.B) {
 	// table exercises both optimizations.
 	mk := func(cfg sqlsheet.Config) *sqlsheet.DB {
 		db := sqlsheet.Open()
+		cfg.DisablePlanCache = true
 		db.Configure(cfg)
 		db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
 		for _, r := range []string{"w", "e"} {
@@ -202,6 +210,7 @@ func BenchmarkAblation(b *testing.B) {
 // comparison; both return identical values (TestWindowEqualsSpreadsheet...).
 func BenchmarkWindowVsSpreadsheet(b *testing.B) {
 	db := sqlsheet.Open()
+	db.Configure(sqlsheet.Config{DisablePlanCache: true})
 	db.MustExec(`CREATE TABLE wf (g INT, t INT, s FLOAT)`)
 	for g := 0; g < 200; g++ {
 		for t := 0; t < 40; t++ {
@@ -227,7 +236,7 @@ func BenchmarkWindowVsSpreadsheet(b *testing.B) {
 func parallelBenchDB(b *testing.B, workers int) *sqlsheet.DB {
 	b.Helper()
 	db := sqlsheet.Open()
-	db.Configure(sqlsheet.Config{Workers: workers})
+	db.Configure(sqlsheet.Config{Workers: workers, DisablePlanCache: true})
 	db.MustExec(`CREATE TABLE fact (k INT, g INT, v FLOAT)`)
 	db.MustExec(`CREATE TABLE dim (k INT, name TEXT, w FLOAT)`)
 	const nFact, nDim, nGroups = 120000, 512, 1024
@@ -303,7 +312,7 @@ func BenchmarkAccessStructure(b *testing.B) {
 func compiledBenchDB(b *testing.B, disable bool) *sqlsheet.DB {
 	b.Helper()
 	db := sqlsheet.Open()
-	db.Configure(sqlsheet.Config{DisableCompiledEval: disable})
+	db.Configure(sqlsheet.Config{DisableCompiledEval: disable, DisablePlanCache: true})
 	db.MustExec(`CREATE TABLE ef (r TEXT, p TEXT, t INT, s FLOAT)`)
 	regions := []string{"west", "east", "north", "south"}
 	products := []string{"dvd", "vcr", "tv", "video", "dslr", "disk", "amp", "tape"}
@@ -352,7 +361,7 @@ func BenchmarkCompiledFilter(b *testing.B) {
 func probeBenchDB(b *testing.B, disable bool) *sqlsheet.DB {
 	b.Helper()
 	db := sqlsheet.Open()
-	db.Configure(sqlsheet.Config{DisableCompiledEval: disable})
+	db.Configure(sqlsheet.Config{DisableCompiledEval: disable, DisablePlanCache: true})
 	db.MustExec(`CREATE TABLE es (r TEXT, p TEXT, t INT, s FLOAT)`)
 	regions := []string{"west", "east", "north", "south"}
 	var rows [][]any
@@ -386,6 +395,42 @@ func BenchmarkCompiledSpreadsheetProbe(b *testing.B) {
 	}{{"compiled", false}, {"interpreted", true}} {
 		b.Run(v.name, func(b *testing.B) {
 			db := probeBenchDB(b, v.disable)
+			runQuery(b, db, q)
+		})
+	}
+}
+
+// BenchmarkRepeatedQuery measures the serving path for a repeated statement —
+// the dashboard pattern the plan/structure/result cache serves. The query's
+// cost is dominated by the access-structure build (13,568 rows partitioned
+// and indexed; two aggregate rules). Three tiers:
+//
+//	cold           — DisablePlanCache: parse, plan, build, evaluate each time
+//	warm-plan-only — DisableResultCache: cached plan + version-checked
+//	                 structure reuse; formulas still evaluate each time
+//	warm           — full cache: fingerprint probe + result-version check
+func BenchmarkRepeatedQuery(b *testing.B) {
+	q := `SELECT r, p, t, s FROM es
+		SPREADSHEET PBY(r) DBY(p, t) MEA(s) UPDATE
+		( s['p00', 2006] = sum(s)['p00', 1900 <= t <= 2005],
+		  s['p01', 2006] = sum(s)['p01', 1900 <= t <= 2005] )`
+	variants := []struct {
+		name string
+		cfg  sqlsheet.Config
+	}{
+		{"cold", sqlsheet.Config{DisablePlanCache: true}},
+		{"warm-plan-only", sqlsheet.Config{DisableResultCache: true}},
+		{"warm", sqlsheet.Config{}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			db := probeBenchDB(b, false)
+			db.Configure(v.cfg)
+			// Prime so the timed loop measures the steady state (cold stays
+			// cold: its cache is disabled).
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
 			runQuery(b, db, q)
 		})
 	}

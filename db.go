@@ -30,9 +30,12 @@ import (
 
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/core"
 	"sqlsheet/internal/exec"
 	"sqlsheet/internal/parser"
 	"sqlsheet/internal/plan"
+	"sqlsheet/internal/plancache"
+	"sqlsheet/internal/sqlast"
 	"sqlsheet/internal/types"
 )
 
@@ -48,6 +51,15 @@ type Row = types.Row
 type DB struct {
 	cat  *catalog.Catalog
 	opts Config
+	// cache is the serving-path statement cache: parsed ASTs, optimized
+	// plans (with their compiled-closure registries), pristine spreadsheet
+	// access structures and full result sets, all keyed by statement
+	// fingerprint × configuration fingerprint and invalidated by catalog
+	// version counters.
+	cache *plancache.Cache
+	// cfgFP fingerprints the current Config so entries cached under other
+	// knob settings are never served.
+	cfgFP uint64
 }
 
 // PushStrategy re-exports the reference-pushing transform selection.
@@ -131,15 +143,68 @@ type Config struct {
 	// materialized views whose definition matches exactly. Off by default
 	// because a rewrite may serve data stale since the last REFRESH.
 	EnableMVRewrite bool
+	// DisablePlanCache turns the serving-path statement cache off entirely:
+	// every call re-lexes, re-parses, re-plans, re-compiles and re-executes
+	// (the pre-cache behaviour; ablation knob).
+	DisablePlanCache bool
+	// DisableResultCache keeps the plan/closure/access-structure cache but
+	// disables full result-set reuse, so every call re-executes its plan.
+	// Result reuse is also off whenever MemoryBudget is set: the budgeted
+	// regime (Fig. 5) measures access-structure I/O, which a result hit
+	// would bypass.
+	DisableResultCache bool
+	// PlanCacheBudget bounds the cache's resident bytes (cached results and
+	// access structures dominate). 0 shares MemoryBudget when that is set,
+	// and otherwise defaults to 64 MiB.
+	PlanCacheBudget int64
+}
+
+// defaultPlanCacheBudget bounds the serving-path cache when neither
+// PlanCacheBudget nor MemoryBudget is configured.
+const defaultPlanCacheBudget int64 = 64 << 20
+
+func cacheBudget(cfg Config) int64 {
+	if cfg.PlanCacheBudget > 0 {
+		return cfg.PlanCacheBudget
+	}
+	if cfg.MemoryBudget > 0 {
+		return cfg.MemoryBudget
+	}
+	return defaultPlanCacheBudget
+}
+
+// configFingerprint hashes every Config field so sessions with different
+// knobs never share cache entries (several knobs legally change result
+// bytes, e.g. MorselSize reorders float group-by merges).
+func configFingerprint(cfg Config) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	text := fmt.Sprintf("%+v", cfg)
+	h := uint64(offset64)
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Open creates an empty database with default options.
 func Open() *DB {
-	return &DB{cat: catalog.New()}
+	db := &DB{cat: catalog.New(), cache: plancache.New(defaultPlanCacheBudget)}
+	db.cfgFP = configFingerprint(db.opts)
+	return db
 }
 
-// Configure replaces the session options.
-func (db *DB) Configure(cfg Config) { db.opts = cfg }
+// Configure replaces the session options. Must not race with queries (as
+// with all DDL-like operations); entries cached under previous options stay
+// resident until evicted but are keyed away by the config fingerprint.
+func (db *DB) Configure(cfg Config) {
+	db.opts = cfg
+	db.cfgFP = configFingerprint(cfg)
+	db.cache.SetBudget(cacheBudget(cfg))
+}
 
 // Options returns the current session options.
 func (db *DB) Options() Config { return db.opts }
@@ -159,10 +224,191 @@ func (r *Result) String() string {
 	return r.inner.FormatTable()
 }
 
-// Exec runs one or more ';'-separated statements, returning the result of
-// the last one. Use it for DDL, DML and queries alike.
-func (db *DB) Exec(sql string) (*Result, error) {
+// prepare is the shared entry step for every statement path: it parses sql
+// through the statement-text cache, so a repeated text skips the parser
+// entirely (the fingerprint is whitespace- and case-insensitive, so
+// reformatted texts share the parse too).
+func (db *DB) prepare(sql string) ([]sqlast.Statement, error) {
+	if db.opts.DisablePlanCache {
+		return parser.Parse(sql)
+	}
+	fp, err := parser.Fingerprint(sql)
+	if err != nil {
+		// Lexically invalid; let the parser produce its usual error.
+		return parser.Parse(sql)
+	}
+	if stmts, ok := db.cache.Text(fp); ok {
+		return stmts, nil
+	}
 	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.cache.SetText(fp, stmts)
+	return stmts, nil
+}
+
+// prepareQuery prepares a single-SELECT text, reproducing ParseQuery's
+// error messages for anything else.
+func (db *DB) prepareQuery(sql string) (*sqlast.SelectStmt, error) {
+	stmts, err := db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
+	}
+	q, ok := stmts[0].(*sqlast.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("statement is not a query")
+	}
+	return q, nil
+}
+
+// queryOutcome carries per-call cache information alongside a result, for
+// stats reporting and EXPLAIN annotations.
+type queryOutcome struct {
+	planHit      bool
+	resultHit    bool
+	structReused int
+	deps         string // "table=version, ..." of the dependency snapshot
+	planText     string // filled when wantPlan
+	sheet        blockstore.Stats
+	ops          exec.Stats
+}
+
+// runSelect executes one SELECT through the serving-path cache. A valid
+// cached result is returned directly (unless forceExec); otherwise the
+// cached — or freshly built — plan executes with access-structure reuse,
+// serialized per entry because cached plans carry mutable state. A caller
+// that finds the entry busy executes privately rather than queueing, so
+// concurrent identical statements never serialize behind each other.
+func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exec.Result, queryOutcome, error) {
+	var out queryOutcome
+	if db.opts.DisablePlanCache {
+		res, err := db.runSelectUncached(stmt, wantPlan, &out)
+		return res, out, err
+	}
+	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: db.cfgFP}
+	e := db.cache.Entry(key)
+	useResult := !forceExec && !db.opts.DisableResultCache && db.opts.MemoryBudget == 0
+	if useResult {
+		if schema, rows, deps, ok := db.cache.Result(e, db.cat); ok {
+			out.resultHit, out.planHit = true, true
+			out.deps = plancache.DepString(deps)
+			db.fillCacheStats(&out)
+			return &exec.Result{Schema: schema, Rows: rows}, out, nil
+		}
+	}
+	if !e.ExecMu.TryLock() {
+		// Another goroutine is executing this entry; run privately.
+		res, err := db.runSelectUncached(stmt, wantPlan, &out)
+		return res, out, err
+	}
+	defer e.ExecMu.Unlock()
+	if useResult {
+		// Re-check under the lock: the previous holder may have cached it.
+		if schema, rows, deps, ok := db.cache.Result(e, db.cat); ok {
+			out.resultHit, out.planHit = true, true
+			out.deps = plancache.DepString(deps)
+			db.fillCacheStats(&out)
+			return &exec.Result{Schema: schema, Rows: rows}, out, nil
+		}
+	}
+	ex := db.newExecutor()
+	p, deps, hit := db.cache.Plan(e, db.cat)
+	if p == nil {
+		var err error
+		p, err = plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+		if err != nil {
+			return nil, out, err
+		}
+		d, sheets := plancache.CollectDeps(db.cat, stmt, p)
+		db.cache.SetPlan(e, stmt, p, d, sheets)
+		deps = d
+	}
+	out.planHit = hit
+	out.deps = plancache.DepString(deps)
+	if wantPlan {
+		out.planText = plan.Explain(p)
+	}
+	ex.Opts.Structs = db.structCache(e)
+	res, err := ex.Execute(p, nil)
+	out.sheet, out.ops = ex.SheetStats, ex.ExecStats
+	out.structReused = ex.ExecStats.Cache.StructuresReused
+	if err != nil {
+		return nil, out, err
+	}
+	if !db.opts.DisableResultCache && db.opts.MemoryBudget == 0 {
+		db.cache.SetResult(e, res.Schema, res.Rows)
+	}
+	db.fillCacheStats(&out)
+	return res, out, nil
+}
+
+// runSelectUncached is the cache-bypassing execution path (cache disabled,
+// or the entry is busy).
+func (db *DB) runSelectUncached(stmt *sqlast.SelectStmt, wantPlan bool, out *queryOutcome) (*exec.Result, error) {
+	ex := db.newExecutor()
+	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+	if err != nil {
+		return nil, err
+	}
+	if wantPlan {
+		out.planText = plan.Explain(p)
+	}
+	res, err := ex.Execute(p, nil)
+	out.sheet, out.ops = ex.SheetStats, ex.ExecStats
+	return res, err
+}
+
+// fillCacheStats stamps the per-call flags and cumulative counters into the
+// outcome's operator stats (surfaced by QueryOpStats).
+func (db *DB) fillCacheStats(out *queryOutcome) {
+	c := db.cache.Counters()
+	out.ops.Cache = exec.CacheStats{
+		PlanHit:          out.planHit,
+		ResultHit:        out.resultHit,
+		StructuresReused: out.structReused,
+		Hits:             c.PlanHits,
+		Misses:           c.PlanMisses,
+		ResultHits:       c.ResultHits,
+		StructReuses:     c.StructReuses,
+		Evictions:        c.Evictions,
+		Invalidations:    c.Invalidations,
+	}
+}
+
+// cacheStructs adapts a plan-cache entry to exec.StructureCache.
+type cacheStructs struct {
+	c *plancache.Cache
+	e *plancache.Entry
+}
+
+func (s cacheStructs) Lookup(n *plan.Spreadsheet) (*core.PartitionSet, bool) {
+	return s.c.Structure(s.e, n)
+}
+
+func (s cacheStructs) Store(n *plan.Spreadsheet, ps *core.PartitionSet) {
+	s.c.StoreStructure(s.e, n, ps)
+}
+
+// structCache returns the structure cache view of an entry, or nil when
+// structures are not reusable under the current options (spill-backed
+// stores rebuild per run; B-tree indexes have no cloning support).
+func (db *DB) structCache(e *plancache.Entry) exec.StructureCache {
+	if db.opts.MemoryBudget > 0 || db.opts.UseBTreeIndex {
+		return nil
+	}
+	return cacheStructs{c: db.cache, e: e}
+}
+
+// Exec runs one or more ';'-separated statements, returning the result of
+// the last one. Use it for DDL, DML and queries alike. SELECT statements go
+// through the serving-path cache; everything else executes directly (and
+// invalidates dependents via catalog version counters).
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmts, err := db.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -171,8 +417,13 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	}
 	var last *Result
 	for _, stmt := range stmts {
-		ex := db.newExecutor()
-		res, err := ex.ExecStatement(stmt)
+		var res *exec.Result
+		if sel, ok := stmt.(*sqlast.SelectStmt); ok {
+			res, _, err = db.runSelect(sel, false, false)
+		} else {
+			ex := db.newExecutor()
+			res, err = ex.ExecStatement(stmt)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -192,12 +443,11 @@ func (db *DB) MustExec(sql string) *Result {
 
 // Query runs a single SELECT statement.
 func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := parser.ParseQuery(sql)
+	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	ex := db.newExecutor()
-	res, err := ex.ExecStatement(stmt)
+	res, _, err := db.runSelect(stmt, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -206,17 +456,18 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryStats runs a query and also returns the spreadsheet access
 // structure's I/O statistics (block loads/evictions, bytes spilled).
+// Result reuse is off whenever MemoryBudget is set, so budgeted runs always
+// report real I/O.
 func (db *DB) QueryStats(sql string) (*Result, blockstore.Stats, error) {
-	stmt, err := parser.ParseQuery(sql)
+	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
-	ex := db.newExecutor()
-	res, err := ex.ExecStatement(stmt)
+	res, out, err := db.runSelect(stmt, false, false)
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
-	return wrapResult(res), ex.SheetStats, nil
+	return wrapResult(res), out.sheet, nil
 }
 
 // OpStats re-exports the per-operator execution statistics collected by the
@@ -225,52 +476,84 @@ type OpStats = exec.Stats
 
 // QueryOpStats runs a query and also returns the per-operator parallel
 // execution statistics. Operators that ran serially (input below the morsel
-// threshold, or not parallelizable) do not appear.
+// threshold, or not parallelizable) do not appear. Stats.Cache carries the
+// serving-path cache's per-call flags and cumulative hit/miss/eviction
+// counters; a result hit reports no operator lines (nothing executed).
 func (db *DB) QueryOpStats(sql string) (*Result, OpStats, error) {
-	stmt, err := parser.ParseQuery(sql)
+	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return nil, OpStats{}, err
 	}
-	ex := db.newExecutor()
-	res, err := ex.ExecStatement(stmt)
+	res, out, err := db.runSelect(stmt, false, false)
 	if err != nil {
 		return nil, OpStats{}, err
 	}
-	return wrapResult(res), ex.ExecStats, nil
+	return wrapResult(res), out.ops, nil
 }
 
 // ExplainAnalyze executes the query and returns the optimized plan followed
-// by the per-operator parallel execution statistics (EXPLAIN ANALYZE style).
+// by the per-operator parallel execution statistics (EXPLAIN ANALYZE style)
+// and cache annotations. It always executes — a cached result is never
+// served — but does reuse the cached plan and access structures, so the
+// annotations show exactly what a repeated Query call would reuse.
 func (db *DB) ExplainAnalyze(sql string) (string, error) {
-	stmt, err := parser.ParseQuery(sql)
+	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return "", err
 	}
-	ex := db.newExecutor()
-	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+	_, out, err := db.runSelect(stmt, true, true)
 	if err != nil {
 		return "", err
 	}
-	text := plan.Explain(p)
-	if _, err := ex.Execute(p, nil); err != nil {
-		return "", err
+	text := out.planText + "\nexecution:\n" + out.ops.String()
+	if !db.opts.DisablePlanCache {
+		text += "cache: plan " + hitMiss(out.planHit) + "\n"
+		if out.structReused > 0 {
+			text += fmt.Sprintf("cache: structure reused (table versions %s)\n", out.deps)
+		}
 	}
-	return text + "\nexecution:\n" + ex.ExecStats.String(), nil
+	return text, nil
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // Explain returns the optimized plan of a query as indented text, including
-// spreadsheet analysis (levels, pruned formulas, pushed predicates).
+// spreadsheet analysis (levels, pruned formulas, pushed predicates) and,
+// when the cache is enabled, whether the plan came from it.
 func (db *DB) Explain(sql string) (string, error) {
-	stmt, err := parser.ParseQuery(sql)
+	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return "", err
 	}
 	ex := db.newExecutor()
-	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
-	if err != nil {
-		return "", err
+	if db.opts.DisablePlanCache {
+		p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+		if err != nil {
+			return "", err
+		}
+		return plan.Explain(p), nil
 	}
-	return plan.Explain(p), nil
+	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: db.cfgFP}
+	e := db.cache.Entry(key)
+	// Explain mutates the plan's spreadsheet Model (lazy Analyze), so it
+	// must hold the entry's execution lock like any other plan use.
+	e.ExecMu.Lock()
+	defer e.ExecMu.Unlock()
+	p, _, hit := db.cache.Plan(e, db.cat)
+	if p == nil {
+		p, err = plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
+		if err != nil {
+			return "", err
+		}
+		deps, sheets := plancache.CollectDeps(db.cat, stmt, p)
+		db.cache.SetPlan(e, stmt, p, deps, sheets)
+	}
+	return plan.Explain(p) + "cache: plan " + hitMiss(hit) + "\n", nil
 }
 
 // CreateTable registers a table programmatically. Column kinds come from

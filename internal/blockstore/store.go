@@ -127,6 +127,15 @@ func (m *MemStore) Stats() Stats { return Stats{} }
 // Close implements Store.
 func (m *MemStore) Close() error { return nil }
 
+// CloneShallow returns an independent MemStore whose row table is copied
+// but whose rows are shared with the original. Sharing is safe under the
+// engine's write discipline: a stored row is never mutated in place —
+// writers clone the row and replace it via Set — so the original's rows
+// stay frozen no matter what the clone does.
+func (m *MemStore) CloneShallow() *MemStore {
+	return &MemStore{rows: append([]types.Row(nil), m.rows...)}
+}
+
 // Config sizes a SpillStore.
 type Config struct {
 	// BudgetBytes bounds resident block memory; <= 0 means unbounded.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sqlsheet/internal/blockstore"
+)
+
+// CloneForReuse returns an independent copy of a pristine — freshly built,
+// never evaluated — partition set, or nil when the structure is not
+// reusable (spill-backed stores, B-tree indexes). The serving-path cache
+// keeps one pristine copy per spreadsheet node and clones it again for each
+// execution, so formula evaluation always starts from build state.
+//
+// The clone shares what evaluation never mutates in place: the row slices
+// themselves (every engine write goes through Store.Set with a cloned row),
+// each frame's PBY values, and the pre-execution present-key snapshot
+// (frame Inserts do not update it by design). Everything evaluation does
+// mutate is copied (ids, the DBY hash index, the store's row table) or
+// reset (updated marks, convergence flags, key scratch).
+func (ps *PartitionSet) CloneForReuse() *PartitionSet {
+	cp := &PartitionSet{model: ps.model, buckets: make([]*bucket, len(ps.buckets))}
+	for bi, b := range ps.buckets {
+		ms, ok := b.store.(*blockstore.MemStore)
+		if !ok {
+			return nil
+		}
+		nb := &bucket{
+			store:  ms.CloneShallow(),
+			frames: make([]*Frame, len(b.frames)),
+			byKey:  make(map[string]*Frame, len(b.byKey)),
+		}
+		remap := make(map[*Frame]*Frame, len(b.frames))
+		for fi, f := range b.frames {
+			if f.bidx != nil {
+				return nil
+			}
+			nf := &Frame{
+				b:       nb,
+				pby:     f.pby,
+				ids:     append([]blockstore.RowID(nil), f.ids...),
+				index:   make(map[string]int, len(f.index)),
+				present: f.present,
+			}
+			for k, v := range f.index {
+				nf.index[k] = v
+			}
+			nb.frames[fi] = nf
+			remap[f] = nf
+		}
+		for k, f := range b.byKey {
+			nb.byKey[k] = remap[f]
+		}
+		cp.buckets[bi] = nb
+	}
+	return cp
+}
+
+// EstimateBytes approximates the structure's resident size for cache
+// budgeting: stored rows plus per-key index overhead.
+func (ps *PartitionSet) EstimateBytes() int64 {
+	var n int64
+	for _, b := range ps.buckets {
+		n += 256
+		for _, f := range b.frames {
+			n += 128
+			n += int64(len(f.ids)) * 16
+			for k := range f.index {
+				n += int64(len(k)) + 48
+			}
+			for _, id := range f.ids {
+				n += blockstore.RowBytes(b.store.Get(id))
+			}
+		}
+	}
+	return n
+}

@@ -47,6 +47,14 @@ type RunOptions struct {
 	// DisableCompiledEval routes formula evaluation through the tree-walking
 	// interpreter instead of compiled closures (ablation knob).
 	DisableCompiledEval bool
+	// Prebuilt, when non-nil, skips the partition build and evaluates this
+	// structure instead. The caller must pass a private copy (see
+	// PartitionSet.CloneForReuse); evaluation mutates it and Run closes it.
+	Prebuilt *PartitionSet
+	// OnBuilt, when non-nil, observes the freshly built structure after the
+	// build and before any formula evaluation — the window in which
+	// CloneForReuse may capture a pristine copy for the serving-path cache.
+	OnBuilt func(*PartitionSet)
 }
 
 // Run executes the compiled spreadsheet over rows in working-schema layout
@@ -74,12 +82,19 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 			nb = 1
 		}
 	}
-	ps, err := BuildPartitionsOpts(m, rows, nb, newStore, BuildOptions{
-		UseBTree: opts.UseBTreeIndex,
-		Workers:  opts.BuildWorkers,
-	})
-	if err != nil {
-		return nil, blockstore.Stats{}, err
+	ps := opts.Prebuilt
+	if ps == nil {
+		var err error
+		ps, err = BuildPartitionsOpts(m, rows, nb, newStore, BuildOptions{
+			UseBTree: opts.UseBTreeIndex,
+			Workers:  opts.BuildWorkers,
+		})
+		if err != nil {
+			return nil, blockstore.Stats{}, err
+		}
+		if opts.OnBuilt != nil {
+			opts.OnBuilt(ps)
+		}
 	}
 	defer ps.Close()
 

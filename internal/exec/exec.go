@@ -60,6 +60,10 @@ type Options struct {
 	DisableAsyncSpill bool
 	// PlanOpts is used when the executor plans subqueries itself.
 	PlanOpts *plan.Options
+	// Structs, when non-nil, lets execSpreadsheet reuse cached access
+	// structures for the plan's spreadsheet nodes and publish freshly
+	// built ones. Set by the DB layer when executing a cached plan.
+	Structs StructureCache
 }
 
 // Result is a materialized relation.

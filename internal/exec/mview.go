@@ -131,6 +131,9 @@ func (ex *Executor) refreshMatView(mv *catalog.MatView, forceFull bool) (string,
 		return "", 0, err
 	}
 	mv.Table.Rows = res.Rows
+	// The backing table's contents changed without going through Insert;
+	// bump its version so dependent caches invalidate.
+	mv.Table.Version++
 	mv.Watermarks, mv.Versions = ex.snapshotWatermarks(mv.Query)
 	return "full", len(res.Rows), nil
 }
@@ -194,6 +197,9 @@ func (ex *Executor) refreshIncremental(mv *catalog.MatView, main *catalog.Table,
 		}
 	}
 	mv.Table.Rows = append(keep, res.Rows...)
+	// Not an append-only change (affected partitions were replaced): bump
+	// the version so dependent caches invalidate.
+	mv.Table.Version++
 	return len(res.Rows), nil
 }
 

@@ -139,6 +139,8 @@ type OpStat struct {
 // threads it into EXPLAIN ANALYZE-style output and cmd/experiments reports.
 type Stats struct {
 	Ops []OpStat
+	// Cache reports the serving-path cache's involvement in the statement.
+	Cache CacheStats
 }
 
 // String renders the stats as an aligned table, one line per operator.

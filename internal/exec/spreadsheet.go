@@ -14,9 +14,26 @@ import (
 // then hands off to the core engine with the configured store factory and
 // degree of parallelism.
 func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*Result, error) {
-	in, err := ex.Execute(n.Input, outer)
-	if err != nil {
-		return nil, err
+	// Serving-path structure reuse: when the plan is cached and a pristine
+	// access structure exists for this node, clone it and skip both the
+	// input scan and the partition build — the cache layer has already
+	// verified that every dependency's table version is unchanged, so the
+	// build would reproduce the cached structure bit for bit. Only
+	// uncorrelated spreadsheets qualify (an outer binding changes the
+	// input).
+	var prebuilt *core.PartitionSet
+	if ex.Opts.Structs != nil && outer == nil {
+		if ps, ok := ex.Opts.Structs.Lookup(n); ok {
+			prebuilt = ps.CloneForReuse()
+		}
+	}
+	var inRows []types.Row
+	if prebuilt == nil {
+		in, err := ex.Execute(n.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		inRows = in.Rows
 	}
 	for i, rp := range n.RefPlans {
 		res, err := ex.Execute(rp, outer)
@@ -43,7 +60,7 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	// result row order) stays deterministic regardless of budget grants.
 	buckets := ex.Opts.Buckets
 	if buckets <= 0 {
-		buckets = core.ChooseBuckets(len(in.Rows), 64, ex.Opts.MemoryBudget, ex.Opts.Parallel)
+		buckets = core.ChooseBuckets(len(inRows), 64, ex.Opts.MemoryBudget, ex.Opts.Parallel)
 	}
 	// Spreadsheet PEs and partition-build workers draw from the same core
 	// budget as the operator worker pools, so Workers>1 plus Parallel>1
@@ -69,8 +86,19 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	if bw > 1+granted {
 		bw = 1 + granted
 	}
+	// On a cache miss, publish a pristine copy of the structure right after
+	// the build (before any formula runs); on reuse the executor is already
+	// evaluating a private clone.
+	var onBuilt func(*core.PartitionSet)
+	if structs := ex.Opts.Structs; structs != nil && outer == nil && prebuilt == nil {
+		onBuilt = func(ps *core.PartitionSet) {
+			if cp := ps.CloneForReuse(); cp != nil {
+				structs.Store(n, cp)
+			}
+		}
+	}
 	start := time.Now()
-	rows, stats, err := n.Model.Run(in.Rows, core.RunOptions{
+	rows, stats, err := n.Model.Run(inRows, core.RunOptions{
 		Parallel:            par,
 		BuildWorkers:        bw,
 		Buckets:             buckets,
@@ -81,10 +109,17 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		DisableRangeProbe:   ex.Opts.DisableRangeProbe,
 		UseBTreeIndex:       ex.Opts.UseBTreeIndex,
 		DisableCompiledEval: ex.Opts.DisableCompiledEval,
+		Prebuilt:            prebuilt,
+		OnBuilt:             onBuilt,
 	})
 	ex.bud.release(granted)
+	if prebuilt != nil {
+		ex.mu.Lock()
+		ex.ExecStats.Cache.StructuresReused++
+		ex.mu.Unlock()
+	}
 	if ex.Opts.Parallel > 1 {
-		ex.recordOp(OpStat{Op: "spreadsheet", Rows: len(in.Rows), Workers: par, Elapsed: time.Since(start)})
+		ex.recordOp(OpStat{Op: "spreadsheet", Rows: len(inRows), Workers: par, Elapsed: time.Since(start)})
 	}
 	if err != nil {
 		return nil, err

@@ -48,6 +48,9 @@ var Workers int
 // withWorkers applies the package-level Workers override to a configuration.
 func withWorkers(cfg sqlsheet.Config) sqlsheet.Config {
 	cfg.Workers = Workers
+	// Experiments time the engine; a warm serving-path cache would answer
+	// repeated timing iterations without executing.
+	cfg.DisablePlanCache = true
 	return cfg
 }
 
@@ -297,7 +300,7 @@ func Fig4(scale sqlsheet.APBScale, formulaCounts []int, dops []int) ([]Series, e
 	// formulation catch up when it too is parallelized?
 	opPar := Series{Name: "operator-parallel-joins"}
 	for _, dop := range dops {
-		db.Configure(sqlsheet.Config{Workers: dop})
+		db.Configure(sqlsheet.Config{Workers: dop, DisablePlanCache: true})
 		secs, rows, err := timeQuery(db, S5JoinQuery(maxN, nil))
 		if err != nil {
 			return nil, err

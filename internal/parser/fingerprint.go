@@ -1,0 +1,67 @@
+package parser
+
+// Statement-text fingerprinting for the serving-path cache. The fingerprint
+// is computed over the lexer's token stream, so two texts that differ only
+// in whitespace, comments or keyword/identifier letter case hash the same,
+// while texts with different token content (or token kinds: the string 'a'
+// versus the identifier a) hash differently.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64Byte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+func fnv64String(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnv64Byte(h, s[i])
+	}
+	return h
+}
+
+// Fingerprint returns a stable 64-bit hash of sql's canonical token stream:
+// whitespace- and case-insensitive, comment-blind, trailing-semicolon-blind.
+// Lexically invalid input returns the lexer's error.
+func Fingerprint(sql string) (uint64, error) {
+	return fingerprint(sql, false)
+}
+
+// FingerprintShape is Fingerprint with literals parameterized out: every
+// number and string literal hashes as a placeholder, so queries differing
+// only in constants share a shape. Useful for workload grouping; the plan
+// cache itself keys on the exact-literal Fingerprint because plans embed
+// constant values.
+func FingerprintShape(sql string) (uint64, error) {
+	return fingerprint(sql, true)
+}
+
+func fingerprint(sql string, shape bool) (uint64, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return 0, err
+	}
+	end := len(toks) - 1 // drop tkEOF
+	for end > 0 && toks[end-1].kind == tkOp && toks[end-1].text == ";" {
+		end--
+	}
+	h := uint64(fnvOffset64)
+	for _, t := range toks[:end] {
+		h = fnv64Byte(h, byte(t.kind))
+		if t.quoted {
+			// "select" (a quoted name) must not collide with the keyword.
+			h = fnv64Byte(h, 1)
+		}
+		if shape && (t.kind == tkNumber || t.kind == tkString) {
+			h = fnv64String(h, "?")
+		} else {
+			h = fnv64String(h, t.text)
+		}
+		h = fnv64Byte(h, 0) // separator: "a b" must not collide with "ab"
+	}
+	return h, nil
+}

@@ -1,0 +1,94 @@
+package parser
+
+import "testing"
+
+func fp(t *testing.T, sql string) uint64 {
+	t.Helper()
+	h, err := Fingerprint(sql)
+	if err != nil {
+		t.Fatalf("Fingerprint(%q): %v", sql, err)
+	}
+	return h
+}
+
+func fpShape(t *testing.T, sql string) uint64 {
+	t.Helper()
+	h, err := FingerprintShape(sql)
+	if err != nil {
+		t.Fatalf("FingerprintShape(%q): %v", sql, err)
+	}
+	return h
+}
+
+func TestFingerprintInsensitivity(t *testing.T) {
+	base := fp(t, `SELECT r, p, SUM(s) FROM f WHERE t > 1999 GROUP BY r, p`)
+	same := []string{
+		"select r,p,sum(s) from f where t>1999 group by r,p",
+		"SeLeCt R, P, Sum(S)\n\tFROM F\n\tWHERE T > 1999\n\tGROUP BY R, P",
+		"SELECT r, p, SUM(s) FROM f WHERE t > 1999 GROUP BY r, p;",
+		"SELECT r, p, SUM(s) FROM f WHERE t > 1999 GROUP BY r, p ; ;",
+		"SELECT r, p, SUM(s) -- projection\nFROM f WHERE t > 1999 GROUP BY r, p",
+	}
+	for _, s := range same {
+		if got := fp(t, s); got != base {
+			t.Errorf("fingerprint of %q = %#x, want %#x (same as canonical)", s, got, base)
+		}
+	}
+	diff := []string{
+		"SELECT r, p, SUM(s) FROM f WHERE t > 2000 GROUP BY r, p",  // literal
+		"SELECT r, p, SUM(s) FROM f WHERE t >= 1999 GROUP BY r, p", // operator
+		"SELECT r, p, MAX(s) FROM f WHERE t > 1999 GROUP BY r, p",  // identifier
+		"SELECT r, p, SUM(s) FROM f GROUP BY r, p",                 // shape
+	}
+	for _, s := range diff {
+		if got := fp(t, s); got == base {
+			t.Errorf("fingerprint of %q collided with the canonical query", s)
+		}
+	}
+}
+
+// Token-kind and separator discipline: a string literal must not collide with
+// an identifier of the same spelling, a quoted identifier must not collide
+// with the keyword it spells, and adjacent tokens must not re-associate.
+func TestFingerprintTokenKinds(t *testing.T) {
+	pairs := [][2]string{
+		{`SELECT 'a' FROM f`, `SELECT a FROM f`},
+		{`SELECT "select" FROM f`, `SELECT select FROM f`},
+		{`SELECT ab FROM f`, `SELECT a b FROM f`},
+		{`SELECT 1, 2 FROM f`, `SELECT 12 FROM f`},
+	}
+	for _, p := range pairs {
+		a, errA := Fingerprint(p[0])
+		b, errB := Fingerprint(p[1])
+		if errA != nil || errB != nil {
+			// Some variants may not parse, but they must still lex; both do.
+			t.Fatalf("lex error: %v / %v", errA, errB)
+		}
+		if a == b {
+			t.Errorf("fingerprints of %q and %q collided (%#x)", p[0], p[1], a)
+		}
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	a := fpShape(t, `SELECT r FROM f WHERE t > 1999 AND p = 'dvd'`)
+	b := fpShape(t, `SELECT r FROM f WHERE t > 2005 AND p = 'vcr'`)
+	if a != b {
+		t.Errorf("shape fingerprints differ across literal-only change: %#x vs %#x", a, b)
+	}
+	c := fpShape(t, `SELECT r FROM f WHERE t > 1999 AND q = 'dvd'`)
+	if a == c {
+		t.Error("shape fingerprint collided across an identifier change")
+	}
+	// Exact fingerprints of the literal-varied pair must differ.
+	if fp(t, `SELECT r FROM f WHERE t > 1999 AND p = 'dvd'`) ==
+		fp(t, `SELECT r FROM f WHERE t > 2005 AND p = 'vcr'`) {
+		t.Error("exact fingerprint collapsed literals; only FingerprintShape should")
+	}
+}
+
+func TestFingerprintLexError(t *testing.T) {
+	if _, err := Fingerprint(`SELECT 'unterminated`); err == nil {
+		t.Error("expected lex error for unterminated string")
+	}
+}

@@ -1,0 +1,19 @@
+package sqlast
+
+// Fingerprint returns a stable 64-bit FNV-1a hash of a statement's
+// canonical rendering (FormatStatement), so statements that parse to the
+// same tree — regardless of original whitespace, letter case or redundant
+// parentheses — share a fingerprint. The plan cache keys on this.
+func Fingerprint(s Statement) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	text := FormatStatement(s)
+	h := uint64(offset64)
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= prime64
+	}
+	return h
+}
