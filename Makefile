@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race bench-parallel bench bench-compare bench-cache lint-hotpath
+.PHONY: build test verify vet race serve-test bench-parallel bench bench-compare bench-cache bench-serve lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,17 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification: everything must build, every test must pass, and no
-# hot-path interpreter call may sneak in unannotated.
-verify: build test lint-hotpath
+# Tier-1 verification: everything must build, every test must pass (including
+# the serving-layer suite), and no hot-path interpreter call may sneak in
+# unannotated.
+verify: build test serve-test lint-hotpath
+
+# Serving-layer gate: wire codec round-trips, fuzz seed corpus, and the
+# in-process sqlsheetd integration suite (32 concurrent sessions vs serial
+# replay, timeout cancellation, admission overload, graceful drain, /metrics).
+# Also part of `make race` via ./... .
+serve-test:
+	$(GO) test ./internal/wire/ ./internal/server/
 
 # lint-hotpath flags direct interpreter entry points (eval.Eval / eval.EvalBool)
 # in the executor and spreadsheet engine. Per-row loops there must go through
@@ -77,3 +85,12 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -diff BENCH_storage.json -out BENCH_storage.json \
 		-command "make bench-compare" \
 		-note "data-movement baselines: partition build, external merge sort, spill throughput"
+
+# Serving-layer throughput: end-to-end client round-trips at 1, 8 and 64
+# concurrent sessions, serving-path cache cold vs warm. cmd/benchjson diffs
+# against the checked-in BENCH_serve.json baseline and rewrites it.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem ./internal/server/ | \
+	$(GO) run ./cmd/benchjson -diff BENCH_serve.json -out BENCH_serve.json \
+		-command "make bench-serve" \
+		-note "serving layer: 1/8/64 concurrent client sessions, cold vs warm serving-path cache"

@@ -38,7 +38,10 @@ func (db *DB) InstallAPB(scale APBScale) (APBInfo, error) {
 		Years:         scale.Years,
 		Density:       scale.Density,
 	})
-	if err := d.Install(db.cat); err != nil {
+	db.stmtMu.Lock()
+	err := d.Install(db.cat)
+	db.stmtMu.Unlock()
+	if err != nil {
 		return APBInfo{}, err
 	}
 	return APBInfo{

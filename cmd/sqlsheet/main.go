@@ -6,6 +6,7 @@
 //	sqlsheet                 # interactive REPL
 //	sqlsheet -f script.sql   # run a ';'-separated script
 //	sqlsheet -apb            # preload the APB benchmark dataset
+//	sqlsheet -connect host:port   # REPL against a running sqlsheetd
 //
 // Meta commands inside the REPL:
 //
@@ -24,6 +25,8 @@ import (
 	"strings"
 
 	"sqlsheet"
+	"sqlsheet/internal/client"
+	"sqlsheet/internal/wire"
 )
 
 func main() {
@@ -31,7 +34,13 @@ func main() {
 	apb := flag.Bool("apb", false, "preload the APB benchmark dataset")
 	parallel := flag.Int("parallel", 0, "spreadsheet degree of parallelism")
 	workers := flag.Int("workers", 1, "operator worker-pool size (0 = all cores, 1 = serial)")
+	connect := flag.String("connect", "", "connect to a sqlsheetd server instead of running embedded")
 	flag.Parse()
+
+	if *connect != "" {
+		remote(*connect, *file)
+		return
+	}
 
 	db := sqlsheet.Open()
 	if *parallel > 0 || *workers != 1 {
@@ -158,6 +167,109 @@ func meta(db *sqlsheet.DB, line string) bool {
 		fmt.Println("unknown command; try \\d, \\explain, \\load, \\q")
 	}
 	return true
+}
+
+// remote runs the REPL (or a script) against a sqlsheetd server.
+func remote(addr, file string) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := c.Query(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(formatWire(res))
+		return
+	}
+
+	fmt.Printf("sqlsheet — connected to %s. \\q to quit.\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "\\quit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "  -> "
+			continue
+		}
+		prompt = "sql> "
+		sql := buf.String()
+		buf.Reset()
+		res, err := c.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(formatWire(res))
+	}
+}
+
+// formatWire renders a wire result as an aligned table, mirroring the
+// embedded Result printer.
+func formatWire(res *wire.Result) string {
+	if res == nil {
+		return ""
+	}
+	if len(res.Cols) == 0 {
+		return "(no rows)\n"
+	}
+	width := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		width[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(res.Cols))
+		for i := range res.Cols {
+			s := "NULL"
+			if i < len(row) {
+				s = row[i].String()
+			}
+			cells[r][i] = s
+			if len(s) > width[i] {
+				width[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range res.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", width[i], c)
+	}
+	b.WriteByte('\n')
+	for r := range cells {
+		for i, s := range cells[r] {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
 }
 
 func fatal(err error) {

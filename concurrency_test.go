@@ -1,9 +1,12 @@
 package sqlsheet_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestConcurrentQueries runs many spreadsheet queries against one DB from
@@ -74,5 +77,99 @@ func TestSpillPlusParallel(t *testing.T) {
 	}
 	if !sameResults(plain, res) {
 		t.Fatal("spill+parallel changed results")
+	}
+}
+
+// TestConcurrentDMLVersionRace pins the catalog-version data race fixed by
+// making Table.Version atomic: writers bump table versions (INSERT, UPDATE,
+// DELETE) while reader goroutines drive plan/result-cache probes that read
+// the same counters to validate cached dependencies. Run under -race this
+// fails if either side regresses to plain int access; without -race it still
+// checks that cached reads never serve a stale post-DML result.
+func TestConcurrentDMLVersionRace(t *testing.T) {
+	db := newFactDB(t)
+	q := `SELECT r, SUM(s) AS total FROM f GROUP BY r ORDER BY r`
+	const writers, readers, iters = 2, 6, 40
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var dml string
+				if i%2 == 0 {
+					dml = fmt.Sprintf(`INSERT INTO f VALUES ('w%d', 'dvd', %d, 1.0, 0.5)`, w, 3000+i)
+				} else {
+					dml = fmt.Sprintf(`DELETE FROM f WHERE r = 'w%d'`, w)
+				}
+				if _, err := db.Exec(dml); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The base regions are never touched by the writers, so a
+				// correctly-invalidated cache always reports them.
+				if len(res.Rows) < 2 {
+					errs <- fmt.Errorf("lost base rows: %d groups", len(res.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryContextCancel checks the engine-level cancellation points: a
+// context cancelled mid-flight stops a long ITERATE loop promptly and
+// surfaces context.Canceled, and a pre-cancelled context never starts.
+func TestQueryContextCancel(t *testing.T) {
+	db := newFactDB(t)
+	q := `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r, p) DBY (t) MEA (s) UPDATE ITERATE (50000000)
+		( s[2000] = s[2000] * 1.0000001 )`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := db.QueryContext(ctx, q)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not take effect")
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("cancellation latency %v too high", e)
+	}
+
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := db.QueryContext(pre, `SELECT r FROM f`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v", err)
 	}
 }

@@ -25,8 +25,10 @@
 package sqlsheet
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/catalog"
@@ -46,8 +48,21 @@ type Value = types.Value
 type Row = types.Row
 
 // DB is an embedded database: a catalog of tables plus session options.
-// A DB is safe for concurrent readers; DDL/DML must not race with queries
-// on the same tables.
+//
+// Concurrency contract (audited for the serving layer):
+//   - Any number of Query/QueryStats/QueryOpStats/Explain/ExplainAnalyze
+//     calls may run concurrently; they hold the statement lock shared.
+//   - Exec takes the statement lock exclusively when its batch contains
+//     anything besides SELECTs (DDL, DML, REFRESH), so a mutation never
+//     races a concurrent query's table scans. A SELECT-only Exec runs
+//     shared like Query.
+//   - Programmatic mutators (CreateTable, Insert, LoadCSV, InstallAPB,
+//     Configure) also take the exclusive lock.
+//   - catalog.Table.Version is atomic besides all this: the plan cache
+//     probes versions lock-free on the shared path, and the exclusive path
+//     bumps them; the lock ordering (version bump happens inside the
+//     exclusive section, probes validate again under the entry mutex)
+//     guarantees a probe never serves rows from a half-applied mutation.
 type DB struct {
 	cat  *catalog.Catalog
 	opts Config
@@ -60,6 +75,9 @@ type DB struct {
 	// cfgFP fingerprints the current Config so entries cached under other
 	// knob settings are never served.
 	cfgFP uint64
+	// stmtMu is the statement-level reader/writer lock implementing the
+	// contract above: queries share it, mutations own it.
+	stmtMu sync.RWMutex
 }
 
 // PushStrategy re-exports the reference-pushing transform selection.
@@ -197,10 +215,13 @@ func Open() *DB {
 	return db
 }
 
-// Configure replaces the session options. Must not race with queries (as
-// with all DDL-like operations); entries cached under previous options stay
-// resident until evicted but are keyed away by the config fingerprint.
+// Configure replaces the session options. It takes the exclusive statement
+// lock, so in-flight queries finish under the old options; entries cached
+// under previous options stay resident until evicted but are keyed away by
+// the config fingerprint.
 func (db *DB) Configure(cfg Config) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	db.opts = cfg
 	db.cfgFP = configFingerprint(cfg)
 	db.cache.SetBudget(cacheBudget(cfg))
@@ -283,10 +304,10 @@ type queryOutcome struct {
 // serialized per entry because cached plans carry mutable state. A caller
 // that finds the entry busy executes privately rather than queueing, so
 // concurrent identical statements never serialize behind each other.
-func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exec.Result, queryOutcome, error) {
+func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exec.Result, queryOutcome, error) {
 	var out queryOutcome
 	if db.opts.DisablePlanCache {
-		res, err := db.runSelectUncached(stmt, wantPlan, &out)
+		res, err := db.runSelectUncached(ctx, stmt, wantPlan, &out)
 		return res, out, err
 	}
 	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: db.cfgFP}
@@ -302,7 +323,7 @@ func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exe
 	}
 	if !e.ExecMu.TryLock() {
 		// Another goroutine is executing this entry; run privately.
-		res, err := db.runSelectUncached(stmt, wantPlan, &out)
+		res, err := db.runSelectUncached(ctx, stmt, wantPlan, &out)
 		return res, out, err
 	}
 	defer e.ExecMu.Unlock()
@@ -315,7 +336,7 @@ func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exe
 			return &exec.Result{Schema: schema, Rows: rows}, out, nil
 		}
 	}
-	ex := db.newExecutor()
+	ex := db.newExecutor(ctx)
 	p, deps, hit := db.cache.Plan(e, db.cat)
 	if p == nil {
 		var err error
@@ -339,7 +360,7 @@ func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exe
 	if err != nil {
 		return nil, out, err
 	}
-	if !db.opts.DisableResultCache && db.opts.MemoryBudget == 0 {
+	if !db.opts.DisableResultCache && db.opts.MemoryBudget == 0 && ctx.Err() == nil {
 		db.cache.SetResult(e, res.Schema, res.Rows)
 	}
 	db.fillCacheStats(&out)
@@ -348,8 +369,8 @@ func (db *DB) runSelect(stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exe
 
 // runSelectUncached is the cache-bypassing execution path (cache disabled,
 // or the entry is busy).
-func (db *DB) runSelectUncached(stmt *sqlast.SelectStmt, wantPlan bool, out *queryOutcome) (*exec.Result, error) {
-	ex := db.newExecutor()
+func (db *DB) runSelectUncached(ctx context.Context, stmt *sqlast.SelectStmt, wantPlan bool, out *queryOutcome) (*exec.Result, error) {
+	ex := db.newExecutor(ctx)
 	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
 	if err != nil {
 		return nil, err
@@ -408,6 +429,28 @@ func (db *DB) structCache(e *plancache.Entry) exec.StructureCache {
 // through the serving-path cache; everything else executes directly (and
 // invalidates dependents via catalog version counters).
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// isReadOnly reports whether every statement of a batch is a SELECT (and the
+// batch may therefore run under the shared statement lock).
+func isReadOnly(stmts []sqlast.Statement) bool {
+	for _, s := range stmts {
+		if _, ok := s.(*sqlast.SelectStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecContext is Exec with cancellation: when ctx is cancelled or times out,
+// execution stops at the next cancellation point (operator morsel,
+// spreadsheet partition, cyclic/ITERATE iteration, partition-scan tick) and
+// the context's error is returned. A batch containing DDL/DML holds the
+// statement lock exclusively; a SELECT-only batch runs shared. The lock is
+// only acquired after cancellation is checked, so a timed-out request never
+// queues behind a writer just to fail.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	stmts, err := db.prepare(sql)
 	if err != nil {
 		return nil, err
@@ -415,13 +458,26 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	if len(stmts) == 0 {
 		return nil, fmt.Errorf("empty statement")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if isReadOnly(stmts) {
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+	} else {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
+	}
 	var last *Result
 	for _, stmt := range stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var res *exec.Result
 		if sel, ok := stmt.(*sqlast.SelectStmt); ok {
-			res, _, err = db.runSelect(sel, false, false)
+			res, _, err = db.runSelect(ctx, sel, false, false)
 		} else {
-			ex := db.newExecutor()
+			ex := db.newExecutor(ctx)
 			res, err = ex.ExecStatement(stmt)
 		}
 		if err != nil {
@@ -443,11 +499,21 @@ func (db *DB) MustExec(sql string) *Result {
 
 // Query runs a single SELECT statement.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with cancellation (see ExecContext).
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := db.prepareQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.runSelect(stmt, false, false)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	res, _, err := db.runSelect(ctx, stmt, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +529,9 @@ func (db *DB) QueryStats(sql string) (*Result, blockstore.Stats, error) {
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
-	res, out, err := db.runSelect(stmt, false, false)
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	res, out, err := db.runSelect(context.Background(), stmt, false, false)
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
@@ -484,7 +552,9 @@ func (db *DB) QueryOpStats(sql string) (*Result, OpStats, error) {
 	if err != nil {
 		return nil, OpStats{}, err
 	}
-	res, out, err := db.runSelect(stmt, false, false)
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	res, out, err := db.runSelect(context.Background(), stmt, false, false)
 	if err != nil {
 		return nil, OpStats{}, err
 	}
@@ -501,7 +571,9 @@ func (db *DB) ExplainAnalyze(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	_, out, err := db.runSelect(stmt, true, true)
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	_, out, err := db.runSelect(context.Background(), stmt, true, true)
 	if err != nil {
 		return "", err
 	}
@@ -530,7 +602,9 @@ func (db *DB) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ex := db.newExecutor()
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	ex := db.newExecutor(context.Background())
 	if db.opts.DisablePlanCache {
 		p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
 		if err != nil {
@@ -563,6 +637,8 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	for i, c := range cols {
 		sc[i] = types.Column(c)
 	}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	_, err := db.cat.Create(name, types.NewSchema(sc...))
 	return err
 }
@@ -579,6 +655,8 @@ func ColBool(name string) Column   { return Column{Name: name, Kind: types.KindB
 // Insert appends rows to a table programmatically. Values may be Go ints,
 // floats, strings, bools, nil, or Value.
 func (db *DB) Insert(table string, rows ...[]any) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	t, ok := db.cat.Get(table)
 	if !ok {
 		return fmt.Errorf("unknown table %q", table)
@@ -597,6 +675,8 @@ func (db *DB) Insert(table string, rows ...[]any) error {
 
 // LoadCSV bulk-loads CSV data into an existing table.
 func (db *DB) LoadCSV(table string, r io.Reader, skipHeader bool) (int, error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	t, ok := db.cat.Get(table)
 	if !ok {
 		return 0, fmt.Errorf("unknown table %q", table)
@@ -616,11 +696,37 @@ func (db *DB) MatViews() []string { return db.cat.MatViewNames() }
 
 // TableRows returns the row count of a table (0 if absent).
 func (db *DB) TableRows(name string) int {
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
 	t, ok := db.cat.Get(name)
 	if !ok {
 		return 0
 	}
 	return len(t.Rows)
+}
+
+// CacheCounters is a snapshot of the serving-path cache's cumulative
+// counters, re-exported for the metrics endpoint and monitoring.
+type CacheCounters struct {
+	PlanHits      int64
+	PlanMisses    int64
+	ResultHits    int64
+	StructReuses  int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// CacheCounters snapshots the statement cache's cumulative statistics.
+func (db *DB) CacheCounters() CacheCounters {
+	c := db.cache.Counters()
+	return CacheCounters{
+		PlanHits:      c.PlanHits,
+		PlanMisses:    c.PlanMisses,
+		ResultHits:    c.ResultHits,
+		StructReuses:  c.StructReuses,
+		Evictions:     c.Evictions,
+		Invalidations: c.Invalidations,
+	}
 }
 
 // ToValue converts a Go value into an engine Value.
@@ -648,9 +754,10 @@ func ToValue(v any) Value {
 	return types.NewString(fmt.Sprint(v))
 }
 
-func (db *DB) newExecutor() *exec.Executor {
+func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
+		Ctx:                  ctx,
 		Parallel:             o.Parallel,
 		Workers:              o.Workers,
 		MorselSize:           o.MorselSize,

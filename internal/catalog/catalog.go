@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sqlsheet/internal/types"
 )
@@ -18,12 +19,16 @@ import (
 // Table is a named relation with a schema and in-memory row storage.
 // Version increments on every mutation; materialized-view refresh uses it
 // to distinguish pure appends (incremental-refresh eligible) from updates
-// and deletes.
+// and deletes, and the serving-path cache snapshots it to invalidate
+// derived artifacts. Version is atomic because cache probes read it
+// lock-free while a concurrent writer (holding the DB statement lock, which
+// readers of *other* tables do not contend on) bumps it; Rows itself is
+// only safe under the reader/writer discipline documented on sqlsheet.DB.
 type Table struct {
 	Name    string
 	Schema  *types.Schema
 	Rows    []types.Row
-	Version int
+	Version atomic.Int64
 }
 
 // Catalog is a registry of tables. It is safe for concurrent readers with a
@@ -97,7 +102,7 @@ func (t *Table) Insert(rows ...types.Row) error {
 			cp[i] = cv
 		}
 		t.Rows = append(t.Rows, cp)
-		t.Version++
+		t.Version.Add(1)
 	}
 	return nil
 }

@@ -41,7 +41,7 @@ type MatView struct {
 	// Versions records each source's mutation counter at last refresh. A
 	// version change that is not explained by appends (inserts bump both
 	// counters in step) forces a full refresh.
-	Versions map[string]int
+	Versions map[string]int64
 }
 
 // PbyBinding ties one PBY column to its position in the source table and in

@@ -108,6 +108,9 @@ func (fe *frameEval) runRules(idxs []int) error {
 func (fe *frameEval) scanFeed(insts []*aggInstance) error {
 	var ferr error
 	fe.f.Each(func(pos int, row types.Row) bool {
+		if ferr = fe.tick(); ferr != nil {
+			return false
+		}
 		for _, inst := range insts {
 			ok, err := inst.match(row)
 			if err != nil {
@@ -313,6 +316,9 @@ func (fe *frameEval) applyExistential(r *Rule) error {
 		binding := &eval.Binding{BS: fe.bs}
 		ctx.Binding = binding
 		for _, pos := range targets {
+			if err := fe.tick(); err != nil {
+				return err
+			}
 			row := fe.f.Row(pos)
 			copy(fe.cv, row[fe.m.NPby:fe.m.NPby+fe.m.NDby])
 			binding.Row = row
@@ -438,6 +444,9 @@ func (fe *frameEval) matchTargets(r *Rule) ([]int, error) {
 	var out []int
 	var ferr error
 	fe.f.Each(func(pos int, row types.Row) bool {
+		if ferr = fe.tick(); ferr != nil {
+			return false
+		}
 		for _, t := range tests {
 			ok, err := t(row)
 			if err != nil {

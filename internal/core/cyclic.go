@@ -52,6 +52,10 @@ func (fe *frameEval) runSCC(rules []int) error {
 
 	bound := 0
 	for iter := 0; ; iter++ {
+		// Cancellation point: one poll per fixpoint iteration.
+		if err := fe.opts.ctxErr(); err != nil {
+			return err
+		}
 		fe.changed = false
 		fe.assigned = make(map[int64]bool)
 		for _, ri := range rules {

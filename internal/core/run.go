@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,6 +23,12 @@ type PromotedDim struct {
 
 // RunOptions configures spreadsheet execution.
 type RunOptions struct {
+	// Ctx, when non-nil, makes evaluation cancellable. The engine polls it
+	// between partitions, at every cyclic (runSCC) and sequential/ITERATE
+	// iteration, and every few thousand rows of a partition scan, so even a
+	// single-partition divergent model unwinds promptly with the context's
+	// error. Nil (the embedded default) costs nothing.
+	Ctx context.Context
 	// Parallel is the number of processing elements (PEs); <=1 is serial.
 	Parallel int
 	// BuildWorkers is the number of workers for the partition build; <=1
@@ -105,6 +112,9 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 	} else {
 		for _, b := range ps.buckets {
 			for _, f := range b.frames {
+				if err := opts.ctxErr(); err != nil {
+					return nil, ps.Stats(), err
+				}
 				if err := m.evalFrame(f, &opts); err != nil {
 					return nil, ps.Stats(), err
 				}
@@ -112,6 +122,19 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 		}
 	}
 	return ps.Rows(m.ReturnUpdated), ps.Stats(), nil
+}
+
+// ctxErr polls the run's context (nil-safe); non-nil once cancelled.
+func (opts *RunOptions) ctxErr() error {
+	if opts.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-opts.Ctx.Done():
+		return opts.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // runParallel distributes first-level buckets to PE goroutines coordinated
@@ -123,6 +146,11 @@ func (m *Model) runParallel(ps *PartitionSet, opts *RunOptions) error {
 	}
 	work := make(chan *bucket)
 	errs := make(chan error, dop)
+	// stop unblocks the coordinator's send once every PE could have exited
+	// early (first error or cancellation); without it, an error on all PEs —
+	// guaranteed under cancellation — would deadlock the distribution loop.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	for pe := 0; pe < dop; pe++ {
 		wg.Add(1)
@@ -130,8 +158,14 @@ func (m *Model) runParallel(ps *PartitionSet, opts *RunOptions) error {
 			defer wg.Done()
 			for b := range work {
 				for _, f := range b.frames {
-					if err := m.evalFrame(f, opts); err != nil {
+					// Cancellation point: one poll per partition frame.
+					err := opts.ctxErr()
+					if err == nil {
+						err = m.evalFrame(f, opts)
+					}
+					if err != nil {
 						errs <- err
+						stopOnce.Do(func() { close(stop) })
 						return
 					}
 				}
@@ -139,7 +173,10 @@ func (m *Model) runParallel(ps *PartitionSet, opts *RunOptions) error {
 		}()
 	}
 	for _, b := range ps.buckets {
-		work <- b
+		select {
+		case work <- b:
+		case <-stop:
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -276,6 +313,25 @@ type frameEval struct {
 
 	// previousVals resolves previous(cell) inside UNTIL conditions.
 	previousVals map[*sqlast.Previous]types.Value
+
+	// ticks counts rows seen by the heavy partition scans; every tickMask+1
+	// rows the context is polled (see tick).
+	ticks int
+}
+
+// tickMask sets the per-row cancellation poll interval for partition scans:
+// cheap enough to disappear in the scan cost, frequent enough that a large
+// partition cancels in well under a millisecond of extra work.
+const tickMask = 4095
+
+// tick is called once per scanned row inside partition scans; it polls the
+// run's context every tickMask+1 rows.
+func (fe *frameEval) tick() error {
+	fe.ticks++
+	if fe.ticks&tickMask != 0 {
+		return nil
+	}
+	return fe.opts.ctxErr()
 }
 
 func (m *Model) newFrameEval(f *Frame, opts *RunOptions) *frameEval {

@@ -29,6 +29,11 @@ func (fe *frameEval) runSequential() error {
 		})
 	}
 	for iter := 0; iter < iterN; iter++ {
+		// Cancellation point: ITERATE counts can be enormous (the clause
+		// allows ITERATE(1e9)), so every pass polls the context.
+		if err := fe.opts.ctxErr(); err != nil {
+			return err
+		}
 		if until != nil {
 			if err := fe.snapshotPrevious(prevNodes); err != nil {
 				return err

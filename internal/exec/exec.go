@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -19,6 +20,12 @@ import (
 
 // Options configures execution.
 type Options struct {
+	// Ctx, when non-nil, makes execution cancellable: the executor polls it
+	// at every plan-node boundary and every operator morsel, and the
+	// spreadsheet engine polls it per partition, per cyclic/ITERATE
+	// iteration and every few thousand scanned rows. On cancellation the
+	// statement unwinds with the context's error. A nil Ctx costs nothing.
+	Ctx context.Context
 	// Parallel is the spreadsheet degree of parallelism (PE count).
 	Parallel int
 	// Workers is the operator worker-pool size for morsel-driven parallel
@@ -116,9 +123,27 @@ func New(cat *catalog.Catalog, opts Options) *Executor {
 	return ex
 }
 
+// checkCtx polls the execution context; it returns the cancellation error
+// once the context is done and nil for a nil context (the embedded default).
+func (ex *Executor) checkCtx() error {
+	ctx := ex.Opts.Ctx
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // Execute runs a plan node. outer supplies correlation bindings for
 // subquery plans; nil at the top level.
 func (ex *Executor) Execute(n plan.Node, outer *eval.Binding) (*Result, error) {
+	if err := ex.checkCtx(); err != nil {
+		return nil, err
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		return ex.execScan(x, outer)

@@ -95,7 +95,7 @@ func (ex *Executor) refreshMatView(mv *catalog.MatView, forceFull bool) (string,
 			if name == mv.MainSource {
 				continue
 			}
-			if t, ok := ex.Cat.Get(name); !ok || t.Version != ver {
+			if t, ok := ex.Cat.Get(name); !ok || t.Version.Load() != ver {
 				full = true
 				break
 			}
@@ -112,7 +112,7 @@ func (ex *Executor) refreshMatView(mv *catalog.MatView, forceFull bool) (string,
 		case appended < 0,
 			// Version must have advanced exactly once per appended row;
 			// anything else means updates or deletes happened in between.
-			main.Version-mv.Versions[mv.MainSource] != appended:
+			main.Version.Load()-mv.Versions[mv.MainSource] != int64(appended):
 			full = true
 		case appended == 0:
 			return "noop", 0, nil
@@ -133,7 +133,7 @@ func (ex *Executor) refreshMatView(mv *catalog.MatView, forceFull bool) (string,
 	mv.Table.Rows = res.Rows
 	// The backing table's contents changed without going through Insert;
 	// bump its version so dependent caches invalidate.
-	mv.Table.Version++
+	mv.Table.Version.Add(1)
 	mv.Watermarks, mv.Versions = ex.snapshotWatermarks(mv.Query)
 	return "full", len(res.Rows), nil
 }
@@ -199,7 +199,7 @@ func (ex *Executor) refreshIncremental(mv *catalog.MatView, main *catalog.Table,
 	mv.Table.Rows = append(keep, res.Rows...)
 	// Not an append-only change (affected partitions were replaced): bump
 	// the version so dependent caches invalidate.
-	mv.Table.Version++
+	mv.Table.Version.Add(1)
 	return len(res.Rows), nil
 }
 
@@ -277,9 +277,9 @@ func (ex *Executor) analyzeIncremental(stmt *sqlast.SelectStmt) (string, []catal
 // snapshotWatermarks records the current row count and mutation version of
 // every base table the statement reads (views expand; unknown names are
 // skipped — they will force a full refresh when they appear later).
-func (ex *Executor) snapshotWatermarks(stmt *sqlast.SelectStmt) (map[string]int, map[string]int) {
+func (ex *Executor) snapshotWatermarks(stmt *sqlast.SelectStmt) (map[string]int, map[string]int64) {
 	out := map[string]int{}
-	vers := map[string]int{}
+	vers := map[string]int64{}
 	seenViews := map[string]bool{}
 	var walkStmt func(s *sqlast.SelectStmt)
 	var walkQuery func(q sqlast.QueryExpr)
@@ -296,7 +296,7 @@ func (ex *Executor) snapshotWatermarks(stmt *sqlast.SelectStmt) (map[string]int,
 		}
 		if t, ok := ex.Cat.Get(name); ok {
 			out[t.Name] = len(t.Rows)
-			vers[t.Name] = t.Version
+			vers[t.Name] = t.Version.Load()
 		}
 	}
 	walkExprSubs = func(e sqlast.Expr) {

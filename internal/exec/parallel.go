@@ -186,6 +186,12 @@ func (ex *Executor) forEachMorsel(op string, n int, fn func(worker int, m morsel
 			if i >= len(ms) {
 				return
 			}
+			// Cancellation point: each morsel claim polls the context, so a
+			// timed-out query stops within one morsel of work per worker.
+			if err := ex.checkCtx(); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = fn(worker, ms[i])
 		}
 	}

@@ -99,6 +99,7 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	}
 	start := time.Now()
 	rows, stats, err := n.Model.Run(inRows, core.RunOptions{
+		Ctx:                 ex.Opts.Ctx,
 		Parallel:            par,
 		BuildWorkers:        bw,
 		Buckets:             buckets,

@@ -76,7 +76,7 @@ func (ex *Executor) execDelete(st *sqlast.DeleteStmt) (*Result, error) {
 	}
 	t.Rows = kept
 	if n > 0 {
-		t.Version++
+		t.Version.Add(1)
 	}
 	return rowCountResult(n), nil
 }
@@ -134,7 +134,7 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 		n++
 	}
 	if n > 0 {
-		t.Version++
+		t.Version.Add(1)
 	}
 	return rowCountResult(n), nil
 }

@@ -1,0 +1,60 @@
+package parser
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStructuredParseError(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t\nWHERE a <? 3")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not *parser.Error: %T %v", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("Line = %d, want 3", pe.Line)
+	}
+	if pe.Col != 10 {
+		t.Errorf("Col = %d, want 10", pe.Col)
+	}
+	if pe.Token != "?" {
+		t.Errorf("Token = %q, want %q", pe.Token, "?")
+	}
+	if pe.Offset != 25 {
+		t.Errorf("Offset = %d, want 25", pe.Offset)
+	}
+}
+
+func TestStructuredLexError(t *testing.T) {
+	_, err := Parse("SELECT 'oops")
+	if err == nil {
+		t.Fatal("expected lex error")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not *parser.Error: %T %v", err, err)
+	}
+	if pe.Line != 1 || pe.Col != 8 {
+		t.Errorf("position = %d:%d, want 1:8", pe.Line, pe.Col)
+	}
+	if pe.Token != "'" {
+		t.Errorf("Token = %q, want %q", pe.Token, "'")
+	}
+}
+
+func TestParseErrorAtEOF(t *testing.T) {
+	_, err := Parse("SELECT a FROM")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not *parser.Error: %T %v", err, err)
+	}
+	if pe.Token != "" {
+		t.Errorf("Token at EOF = %q, want empty", pe.Token)
+	}
+}

@@ -65,7 +65,7 @@ func lex(src string) ([]token, error) {
 			var id strings.Builder
 			for {
 				if l.pos >= len(l.src) {
-					return nil, fmt.Errorf("unterminated quoted identifier at offset %d", start)
+					return nil, posError(l.src, start, `"`, "unterminated quoted identifier")
 				}
 				if l.src[l.pos] == '"' {
 					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
@@ -161,7 +161,7 @@ func (l *lexer) lexString() error {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("unterminated string literal at offset %d", start)
+	return posError(l.src, start, "'", "unterminated string literal")
 }
 
 // two-character operators, longest match first.
@@ -193,7 +193,7 @@ func (l *lexer) lexOp() error {
 		l.pos++
 		return nil
 	}
-	return fmt.Errorf("unexpected character %q at offset %d", string(c), start)
+	return posError(l.src, start, string(c), fmt.Sprintf("unexpected character %q", string(c)))
 }
 
 func isDigit(c byte) bool      { return c >= '0' && c <= '9' }

@@ -169,18 +169,12 @@ func (p *Parser) expectKw(kw string) error {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
-	pos := p.peek().pos
-	// 1-based line:col for readability.
-	line, col := 1, 1
-	for i := 0; i < pos && i < len(p.src); i++ {
-		if p.src[i] == '\n' {
-			line++
-			col = 1
-		} else {
-			col++
-		}
+	t := p.peek()
+	tok := t.text
+	if t.kind == tkEOF {
+		tok = ""
 	}
-	return fmt.Errorf("parse error at %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return posError(p.src, t.pos, tok, fmt.Sprintf(format, args...))
 }
 
 // --- statements ---

@@ -57,7 +57,7 @@ type Key struct {
 type Dep struct {
 	Name    string
 	Table   *catalog.Table // nil if no such table at snapshot time
-	Version int            // Table.Version at snapshot time
+	Version int64          // Table.Version at snapshot time
 	View    *catalog.View
 	Mat     *catalog.MatView
 }
@@ -262,7 +262,7 @@ func depsValid(cat *catalog.Catalog, deps []Dep) bool {
 		if t != d.Table {
 			return false
 		}
-		if t != nil && t.Version != d.Version {
+		if t != nil && t.Version.Load() != d.Version {
 			return false
 		}
 		v, _ := cat.ViewDef(d.Name)

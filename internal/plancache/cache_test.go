@@ -26,7 +26,7 @@ func snapDep(t *testing.T, cat *catalog.Catalog, name string) Dep {
 	t.Helper()
 	d := Dep{Name: name}
 	if tb, ok := cat.Get(name); ok {
-		d.Table, d.Version = tb, tb.Version
+		d.Table, d.Version = tb, tb.Version.Load()
 	}
 	return d
 }
@@ -49,7 +49,7 @@ func TestPlanHitAndVersionInvalidation(t *testing.T) {
 		t.Fatal("expected plan hit after SetPlan")
 	}
 	tb, _ := cat.Get("f")
-	tb.Version++ // DML
+	tb.Version.Add(1) // DML
 	if _, _, hit := c.Plan(e, cat); hit {
 		t.Fatal("expected invalidation after version bump")
 	}
@@ -126,7 +126,7 @@ func TestResultRoundTripAndCopy(t *testing.T) {
 	}
 
 	tb, _ := cat.Get("f")
-	tb.Version++
+	tb.Version.Add(1)
 	if _, _, _, ok := c.Result(e, cat); ok {
 		t.Fatal("expected result invalidation after version bump")
 	}
@@ -199,7 +199,7 @@ func TestTextCacheFIFO(t *testing.T) {
 func TestDepString(t *testing.T) {
 	cat := testCatalog(t, "b", "a")
 	tb, _ := cat.Get("b")
-	tb.Version = 7
+	tb.Version.Store(7)
 	deps := []Dep{snapDep(t, cat, "b"), snapDep(t, cat, "a"), {Name: "absent"}}
 	if got, want := DepString(deps), "a=0, b=7"; got != want {
 		t.Fatalf("DepString = %q, want %q", got, want)

@@ -38,7 +38,7 @@ func CollectDeps(cat *catalog.Catalog, stmt *sqlast.SelectStmt, p plan.Node) ([]
 	for _, n := range names {
 		d := Dep{Name: n}
 		if t, ok := cat.Get(n); ok {
-			d.Table, d.Version = t, t.Version
+			d.Table, d.Version = t, t.Version.Load()
 		}
 		if v, ok := cat.ViewDef(n); ok {
 			d.View = v

@@ -1,0 +1,425 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlsheet"
+	"sqlsheet/internal/client"
+	"sqlsheet/internal/server"
+	"sqlsheet/internal/wire"
+)
+
+// newFactDB builds the paper's electronics warehouse f(r, p, t, s, c).
+func newFactDB(t testing.TB) *sqlsheet.DB {
+	t.Helper()
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT, c FLOAT)`)
+	for _, r := range []string{"west", "east"} {
+		for _, p := range []string{"dvd", "vcr", "tv"} {
+			for ti := 1992; ti <= 2002; ti++ {
+				base := float64(ti - 1990)
+				if p == "vcr" {
+					base *= 2
+				}
+				if p == "tv" {
+					base *= 3
+				}
+				if r == "east" {
+					base += 100
+				}
+				if err := db.Insert("f", []any{r, p, ti, base, base / 2}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return db
+}
+
+// startServer boots an in-process server on an ephemeral port.
+func startServer(t testing.TB, db *sqlsheet.DB, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv := server.New(db, cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// canon flattens a wire result into a canonical string for byte-identity
+// comparison: column names, derived kinds, and every cell with its kind tag.
+func canon(res *wire.Result) string {
+	if res == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Cols, ","))
+	b.WriteByte('\n')
+	b.WriteString(strings.Join(res.Kinds, ","))
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, "%d:%s", v.K, v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// The statement mix exercised by the concurrency tests: spreadsheet update,
+// upsert, aggregate window, and a plain relational query. All carry ORDER BY
+// so results are positionally deterministic.
+var queryMix = []string{
+	`SELECT r, p, t, s FROM f
+	   SPREADSHEET PBY(r) DBY (p, t) MEA (s) UPDATE
+	   ( s['dvd', 2002] = s['dvd', 2000] + s['dvd', 2001],
+	     s['tv', 2002] = avg(s)['tv', 1992 <= t <= 2001] )
+	   ORDER BY r, p, t`,
+	`SELECT r, p, t, s FROM f
+	   SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+	   ( UPSERT s['video', 2002] = s['tv', 2002] + s['vcr', 2002] )
+	   ORDER BY r, p, t`,
+	`SELECT r, SUM(s) AS total FROM f GROUP BY r ORDER BY r`,
+	`SELECT r, p, t, s FROM f WHERE t >= 2000 ORDER BY r, p, t, s`,
+}
+
+// dmlFor returns the round's interleaved write.
+func dmlFor(round int) string {
+	switch round % 3 {
+	case 0:
+		return fmt.Sprintf(`INSERT INTO f VALUES ('north', 'dvd', %d, %d.5, 1.0)`, 2003+round, round)
+	case 1:
+		return fmt.Sprintf(`UPDATE f SET s = s + 1 WHERE t = %d`, 1992+round%10)
+	default:
+		return fmt.Sprintf(`DELETE FROM f WHERE r = 'north' AND t = %d`, 2003+round-2)
+	}
+}
+
+// TestServerConcurrentSessions is the acceptance integration test: 32
+// concurrent client sessions issue the mixed statement set against one
+// server while a reference DB replays the same rounds serially; every
+// concurrent result must be byte-identical to the serial replay.
+func TestServerConcurrentSessions(t *testing.T) {
+	srv := startServer(t, newFactDB(t), server.Config{MaxInFlight: 8, MaxQueue: 64, QueueWait: 30 * time.Second})
+	refSrv := startServer(t, newFactDB(t), server.Config{MaxInFlight: 1, MaxQueue: 1})
+	ref, err := client.Dial(refSrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	const sessions = 32
+	const rounds = 3
+
+	for round := 0; round < rounds; round++ {
+		// Interleaved DML, applied to both sides before the query storm.
+		dml := dmlFor(round)
+		if _, err := ref.Query(dml); err != nil {
+			t.Fatalf("round %d ref dml: %v", round, err)
+		}
+		dc, err := client.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dc.Query(dml); err != nil {
+			t.Fatalf("round %d dml: %v", round, err)
+		}
+		dc.Close()
+
+		// Serial replay is the oracle for this round.
+		want := make([]string, len(queryMix))
+		for i, q := range queryMix {
+			res, err := ref.Query(q)
+			if err != nil {
+				t.Fatalf("round %d ref query %d: %v", round, i, err)
+			}
+			want[i] = canon(res)
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c, err := client.Dial(srv.Addr().String())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				// Stagger the mix so sessions collide on different statements.
+				for k := 0; k < len(queryMix); k++ {
+					i := (s + k) % len(queryMix)
+					res, err := c.Query(queryMix[i])
+					if err != nil {
+						errs <- fmt.Errorf("session %d query %d: %v", s, i, err)
+						return
+					}
+					if got := canon(res); got != want[i] {
+						errs <- fmt.Errorf("session %d query %d: result differs from serial replay\ngot:\n%s\nwant:\n%s",
+							s, i, got, want[i])
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	if got := srv.Metrics.ConnectionsTotal.Load(); got < sessions {
+		t.Errorf("connections_total = %d, want >= %d", got, sessions)
+	}
+	if got := srv.Metrics.QueriesTotal.Load(); got < int64(sessions*len(queryMix)) {
+		t.Errorf("queries_total = %d, want >= %d", got, sessions*len(queryMix))
+	}
+}
+
+// slowQuery runs long enough to outlive small timeouts but is bounded, and
+// every ITERATE pass is a cancellation point.
+const slowQuery = `SELECT r, p, t, s FROM f
+	SPREADSHEET PBY(r, p) DBY (t) MEA (s) UPDATE ITERATE (30000000)
+	( s[2000] = s[2000] * 1.0000001 )
+	ORDER BY r, p, t`
+
+// TestQueryTimeout verifies server-side cancellation: a query exceeding the
+// per-query timeout comes back as a typed TIMEOUT error, the cancellation is
+// visible in the timeout counter, and other sessions are unaffected.
+func TestQueryTimeout(t *testing.T) {
+	srv := startServer(t, newFactDB(t), server.Config{
+		MaxInFlight: 4, MaxQueue: 8, QueryTimeout: 100 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	okErr := make(chan error, 1)
+	go func() {
+		// A healthy session running quick queries throughout.
+		defer wg.Done()
+		c, err := client.Dial(srv.Addr().String())
+		if err != nil {
+			okErr <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Query(`SELECT r, SUM(s) AS total FROM f GROUP BY r ORDER BY r`); err != nil {
+				okErr <- fmt.Errorf("healthy session: %v", err)
+				return
+			}
+		}
+		okErr <- nil
+	}()
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Query(slowQuery)
+	elapsed := time.Since(start)
+	we, ok := err.(*wire.Error)
+	if !ok || we.Code != wire.CodeTimeout {
+		t.Fatalf("slow query: got %v, want TIMEOUT", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; cancellation points too coarse", elapsed)
+	}
+	if got := srv.Metrics.QueryTimeouts.Load(); got != 1 {
+		t.Errorf("query_timeouts = %d, want 1", got)
+	}
+	wg.Wait()
+	if err := <-okErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionOverload induces overload: with one execution slot and a
+// one-deep queue, a burst of slow queries must produce typed SERVER_BUSY
+// rejections rather than stalls, counted by the admission-rejection metric.
+func TestAdmissionOverload(t *testing.T) {
+	srv := startServer(t, newFactDB(t), server.Config{
+		MaxInFlight: 1, MaxQueue: 1, QueueWait: 50 * time.Millisecond,
+		QueryTimeout: 2 * time.Second,
+	})
+
+	const burst = 6
+	var busy, timedOut, okCount int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			_, err = c.Query(slowQuery)
+			mu.Lock()
+			defer mu.Unlock()
+			switch we, ok := err.(*wire.Error); {
+			case err == nil:
+				okCount++
+			case ok && we.Code == wire.CodeServerBusy:
+				busy++
+			case ok && we.Code == wire.CodeTimeout:
+				timedOut++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if busy == 0 {
+		t.Errorf("no SERVER_BUSY under overload (ok=%d busy=%d timeout=%d)", okCount, busy, timedOut)
+	}
+	if got := srv.Metrics.AdmissionRejected.Load(); got != int64(busy) {
+		t.Errorf("admission_rejected = %d, want %d", got, busy)
+	}
+}
+
+// TestParseErrorOverWire checks that a syntax error carries its position and
+// offending token through the protocol.
+func TestParseErrorOverWire(t *testing.T) {
+	srv := startServer(t, newFactDB(t), server.Config{})
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("SELECT r\nFROM f\nWHERE t BETWIXT 1 AND 2")
+	we, ok := err.(*wire.Error)
+	if !ok {
+		t.Fatalf("got %T %v, want *wire.Error", err, err)
+	}
+	if we.Code != wire.CodeParseError {
+		t.Fatalf("code = %s, want PARSE_ERROR", we.Code)
+	}
+	if !we.HasPos || we.Line != 3 || we.Token == "" {
+		t.Errorf("position not carried: %+v", we)
+	}
+	if got := srv.Metrics.ParseErrors.Load(); got != 1 {
+		t.Errorf("parse_errors = %d, want 1", got)
+	}
+}
+
+// TestMetricsEndpoint drives a little traffic and checks that /metrics and
+// /healthz reflect it.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, newFactDB(t), server.Config{MetricsAddr: "127.0.0.1:0"})
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT r, SUM(s) AS total FROM f GROUP BY r ORDER BY r`
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Query("SELECT nonsense FROM nowhere"); err == nil {
+		t.Fatal("expected exec error")
+	}
+
+	resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ConnectionsTotal < 1 || snap.ConnectionsActive < 1 {
+		t.Errorf("connection counters: %+v", snap)
+	}
+	if snap.QueriesTotal != 4 {
+		t.Errorf("queries_total = %d, want 4", snap.QueriesTotal)
+	}
+	if snap.ExecErrors != 1 {
+		t.Errorf("exec_errors = %d, want 1", snap.ExecErrors)
+	}
+	if snap.Latency.Count != 4 {
+		t.Errorf("latency count = %d, want 4", snap.Latency.Count)
+	}
+	// Three identical SELECTs: at least one should have come from the
+	// plan/result cache, proving the re-export works end to end.
+	if snap.Cache.PlanHits+snap.Cache.ResultHits < 1 {
+		t.Errorf("cache counters not re-exported: %+v", snap.Cache)
+	}
+
+	health, err := http.Get("http://" + srv.MetricsAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", health.StatusCode)
+	}
+}
+
+// TestGracefulShutdown verifies drain: in-flight quick queries finish, new
+// queries after drain get SHUTDOWN or a closed connection.
+func TestGracefulShutdown(t *testing.T) {
+	db := newFactDB(t)
+	srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`SELECT r, SUM(s) AS total FROM f GROUP BY r ORDER BY r`); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+
+	// The still-open session either gets a typed SHUTDOWN answer or the
+	// connection closes under it; both are clean outcomes.
+	_, err = c.Query(`SELECT 1 AS one FROM f WHERE t = 1992 ORDER BY r, p`)
+	if we, ok := err.(*wire.Error); ok && we.Code != wire.CodeShutdown {
+		t.Errorf("post-drain query: unexpected typed error %v", we)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Dial(srv.Addr().String()); err == nil {
+		t.Error("dial after shutdown should fail")
+	}
+}

@@ -1,0 +1,339 @@
+// Package wire implements the serving layer's framed text protocol: every
+// message is one frame — a 4-byte big-endian payload length followed by the
+// payload — and payloads are line-oriented text. Requests carry a query (or
+// PING/QUIT); responses carry a typed result set or a structured error with
+// a machine-readable code and, for parse errors, the line/column/token of
+// the offending input. Values are encoded with a one-byte kind tag so every
+// scalar round-trips exactly (floats via strconv's shortest exact form,
+// strings via %q).
+//
+// The codec is shared by internal/server and internal/client so the two
+// sides cannot drift.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sqlsheet/internal/types"
+)
+
+// MaxFrame bounds a single frame's payload. Large result sets fit comfortably
+// (a frame holds an entire response); anything bigger is a protocol error
+// rather than an unbounded allocation driven by four attacker-chosen bytes.
+const MaxFrame = 64 << 20
+
+// Error codes carried in ERR responses.
+const (
+	CodeParseError    = "PARSE_ERROR"    // statement failed to parse; POS line present
+	CodeExecError     = "EXEC_ERROR"     // planning or execution failed
+	CodeServerBusy    = "SERVER_BUSY"    // admission queue full or wait deadline hit
+	CodeTimeout       = "TIMEOUT"        // per-query timeout elapsed mid-execution
+	CodeCanceled      = "CANCELED"       // query canceled (shutdown drain, connection close)
+	CodeProtocolError = "PROTOCOL_ERROR" // malformed frame or unknown command
+	CodeShutdown      = "SHUTDOWN"       // server is draining and rejects new work
+)
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. io.EOF is returned untouched on
+// a clean close between frames; a partial header or payload yields
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// io.ReadFull yields io.EOF only when zero header bytes arrived —
+		// a clean close between frames; a torn header is ErrUnexpectedEOF.
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// --- requests ---
+
+// Request kinds (first line of a request payload).
+const (
+	ReqQuery = "QUERY" // remaining payload is the SQL text
+	ReqPing  = "PING"
+	ReqQuit  = "QUIT"
+)
+
+// EncodeQuery builds a QUERY request payload.
+func EncodeQuery(sql string) []byte {
+	return []byte(ReqQuery + "\n" + sql)
+}
+
+// DecodeRequest splits a request payload into its kind and body.
+func DecodeRequest(payload []byte) (kind, body string, err error) {
+	s := string(payload)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		kind, body = s[:i], s[i+1:]
+	} else {
+		kind = s
+	}
+	switch kind {
+	case ReqQuery, ReqPing, ReqQuit:
+		return kind, body, nil
+	}
+	return "", "", fmt.Errorf("wire: unknown request %q", kind)
+}
+
+// --- responses ---
+
+// Result is a decoded query result: column names, column kinds (as rendered
+// by types.Kind.String), and the rows.
+type Result struct {
+	Cols  []string
+	Kinds []string
+	Rows  [][]types.Value
+}
+
+// Error is a decoded ERR response. Line/Col/Token are populated (HasPos) for
+// parse errors so clients can point at the offending input.
+type Error struct {
+	Code   string
+	Msg    string
+	HasPos bool
+	Line   int
+	Col    int
+	Token  string
+}
+
+func (e *Error) Error() string {
+	if e.HasPos {
+		return fmt.Sprintf("%s at %d:%d near %q: %s", e.Code, e.Line, e.Col, e.Token, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Msg)
+}
+
+// EncodeResult renders an OK response.
+//
+//	OK <ncols> <nrows>
+//	<quoted col names, tab-separated>     (omitted when ncols == 0)
+//	<col kinds, tab-separated>            (omitted when ncols == 0)
+//	<encoded cells, tab-separated> × nrows
+func EncodeResult(cols []string, kinds []string, rows []types.Row) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OK %d %d\n", len(cols), len(rows))
+	if len(cols) > 0 {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(strconv.Quote(c))
+		}
+		b.WriteByte('\n')
+		b.WriteString(strings.Join(kinds, "\t"))
+		b.WriteByte('\n')
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(encodeValue(v))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// EncodePong renders the reply to PING.
+func EncodePong() []byte { return []byte("PONG\n") }
+
+// EncodeBye renders the reply to QUIT.
+func EncodeBye() []byte { return []byte("BYE\n") }
+
+// EncodeError renders an ERR response.
+//
+//	ERR <code>
+//	POS <line> <col> <quoted token>   (only when hasPos)
+//	MSG <quoted message>
+func EncodeError(e *Error) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ERR %s\n", e.Code)
+	if e.HasPos {
+		fmt.Fprintf(&b, "POS %d %d %s\n", e.Line, e.Col, strconv.Quote(e.Token))
+	}
+	fmt.Fprintf(&b, "MSG %s\n", strconv.Quote(e.Msg))
+	return []byte(b.String())
+}
+
+// DecodeResponse parses a response payload into a Result, or returns the
+// decoded *Error for ERR responses. PONG and BYE decode to a nil Result.
+func DecodeResponse(payload []byte) (*Result, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(payload)))
+	sc.Buffer(make([]byte, 64*1024), MaxFrame)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("wire: empty response")
+	}
+	head := sc.Text()
+	switch {
+	case head == "PONG" || head == "BYE":
+		return nil, nil
+	case strings.HasPrefix(head, "ERR "):
+		return nil, decodeError(head, sc)
+	case strings.HasPrefix(head, "OK "):
+		return decodeResult(head, sc)
+	}
+	return nil, fmt.Errorf("wire: malformed response header %q", head)
+}
+
+func decodeError(head string, sc *bufio.Scanner) error {
+	e := &Error{Code: strings.TrimPrefix(head, "ERR ")}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "POS "):
+			var tok string
+			if _, err := fmt.Sscanf(line, "POS %d %d %q", &e.Line, &e.Col, &tok); err == nil {
+				e.Token = tok
+				e.HasPos = true
+			}
+		case strings.HasPrefix(line, "MSG "):
+			if msg, err := strconv.Unquote(strings.TrimPrefix(line, "MSG ")); err == nil {
+				e.Msg = msg
+			}
+		}
+	}
+	return e
+}
+
+func decodeResult(head string, sc *bufio.Scanner) (*Result, error) {
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(head, "OK %d %d", &ncols, &nrows); err != nil {
+		return nil, fmt.Errorf("wire: malformed OK header %q", head)
+	}
+	res := &Result{}
+	if ncols > 0 {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("wire: truncated response: missing column names")
+		}
+		for _, q := range strings.Split(sc.Text(), "\t") {
+			name, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("wire: bad column name %q: %v", q, err)
+			}
+			res.Cols = append(res.Cols, name)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("wire: truncated response: missing column kinds")
+		}
+		res.Kinds = strings.Split(sc.Text(), "\t")
+		if len(res.Cols) != ncols || len(res.Kinds) != ncols {
+			return nil, fmt.Errorf("wire: header/column count mismatch")
+		}
+	}
+	for i := 0; i < nrows; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("wire: truncated response: %d of %d rows", i, nrows)
+		}
+		var row types.Row
+		if line := sc.Text(); line != "" || ncols > 0 {
+			cells := strings.Split(line, "\t")
+			if len(cells) != ncols {
+				return nil, fmt.Errorf("wire: row %d has %d cells, want %d", i, len(cells), ncols)
+			}
+			row = make(types.Row, ncols)
+			for j, c := range cells {
+				v, err := decodeValue(c)
+				if err != nil {
+					return nil, fmt.Errorf("wire: row %d col %d: %v", i, j, err)
+				}
+				row[j] = v
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// --- value codec ---
+
+// encodeValue renders one scalar with a kind tag: N (null), I<int>,
+// F<shortest-exact float>, S<%q string>, B0/B1. The float form round-trips
+// bit-exactly through strconv; the string form is %q so tabs and newlines
+// cannot break the line structure.
+func encodeValue(v types.Value) string {
+	switch v.K {
+	case types.KindNull:
+		return "N"
+	case types.KindInt:
+		return "I" + strconv.FormatInt(v.I, 10)
+	case types.KindFloat:
+		return "F" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case types.KindString:
+		return "S" + strconv.Quote(v.S)
+	case types.KindBool:
+		if v.I != 0 {
+			return "B1"
+		}
+		return "B0"
+	}
+	return "N"
+}
+
+func decodeValue(s string) (types.Value, error) {
+	if s == "" {
+		return types.Null, fmt.Errorf("empty cell")
+	}
+	body := s[1:]
+	switch s[0] {
+	case 'N':
+		return types.Null, nil
+	case 'I':
+		i, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad int %q", body)
+		}
+		return types.NewInt(i), nil
+	case 'F':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad float %q", body)
+		}
+		return types.NewFloat(f), nil
+	case 'S':
+		str, err := strconv.Unquote(body)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad string %q", body)
+		}
+		return types.NewString(str), nil
+	case 'B':
+		switch body {
+		case "0":
+			return types.NewBool(false), nil
+		case "1":
+			return types.NewBool(true), nil
+		}
+		return types.Null, fmt.Errorf("bad bool %q", body)
+	}
+	return types.Null, fmt.Errorf("unknown value tag %q", s[0])
+}

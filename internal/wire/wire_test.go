@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte("x"), 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestFrameTornHeader(t *testing.T) {
+	if _, err := ReadFrame(strings.NewReader("\x00\x00")); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: got %v", err)
+	}
+	// Header promises 10 bytes, only 3 arrive.
+	if _, err := ReadFrame(strings.NewReader("\x00\x00\x00\x0aabc")); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn payload: got %v", err)
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame must be rejected before allocation")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	cols := []string{"r", "weird\tname", "v"}
+	kinds := []string{"STRING", "INT", "FLOAT"}
+	rows := []types.Row{
+		{types.NewString("a\tb\nc"), types.NewInt(-42), types.NewFloat(0.1)},
+		{types.Null, types.NewInt(math.MaxInt64), types.NewFloat(math.Inf(1))},
+		{types.NewString(""), types.NewBool(true), types.NewFloat(1e-300)},
+	}
+	res, err := DecodeResponse(EncodeResult(cols, kinds, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 3 || res.Cols[1] != "weird\tname" {
+		t.Fatalf("cols = %q", res.Cols)
+	}
+	if len(res.Rows) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(rows))
+	}
+	for i, row := range rows {
+		for j, want := range row {
+			got := res.Rows[i][j]
+			if got.K != want.K || got.String() != want.String() {
+				t.Errorf("row %d col %d: %v(%v) != %v(%v)", i, j, got, got.K, want, want.K)
+			}
+		}
+	}
+}
+
+func TestFloatExactRoundTrip(t *testing.T) {
+	vals := []float64{1.0 / 3.0, math.Pi, 0.1 + 0.2, math.SmallestNonzeroFloat64, -0.0}
+	rows := []types.Row{}
+	for _, f := range vals {
+		rows = append(rows, types.Row{types.NewFloat(f)})
+	}
+	res, err := DecodeResponse(EncodeResult([]string{"f"}, []string{"FLOAT"}, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range vals {
+		got := res.Rows[i][0].F
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("float %g not bit-exact: got %g", f, got)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	in := &Error{Code: CodeParseError, Msg: "expected \"(\" near\nnewline",
+		HasPos: true, Line: 3, Col: 14, Token: "sel\tect"}
+	_, err := DecodeResponse(EncodeError(in))
+	out, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("decoded %T, want *Error", err)
+	}
+	if *out != *in {
+		t.Fatalf("error round-trip: got %+v, want %+v", out, in)
+	}
+
+	plain := &Error{Code: CodeServerBusy, Msg: "queue full"}
+	_, err = DecodeResponse(EncodeError(plain))
+	out, ok = err.(*Error)
+	if !ok || *out != *plain {
+		t.Fatalf("plain error round-trip: got %+v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	kind, body, err := DecodeRequest(EncodeQuery("SELECT 1;\nSELECT 2"))
+	if err != nil || kind != ReqQuery || body != "SELECT 1;\nSELECT 2" {
+		t.Fatalf("query: %q %q %v", kind, body, err)
+	}
+	if _, _, err := DecodeRequest([]byte("NONSENSE")); err == nil {
+		t.Fatal("unknown request must error")
+	}
+}
