@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race serve-test bench-parallel bench bench-compare bench-cache bench-serve lint-hotpath
+.PHONY: build test verify vet race race-vector serve-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,12 @@ test:
 	$(GO) test ./...
 
 # Tier-1 verification: everything must build, every test must pass (including
-# the serving-layer suite), and no hot-path interpreter call may sneak in
-# unannotated.
-verify: build test serve-test lint-hotpath
+# the serving-layer suite), no hot-path interpreter call may sneak in
+# unannotated, and the vectorized-path packages must be race-clean (the
+# columnar image cache and selection-pool are shared across worker
+# goroutines; race-vector is targeted so verify stays fast — full-module
+# `make race` remains the pre-merge gate for goroutine-heavy changes).
+verify: build test serve-test lint-hotpath race-vector
 
 # Serving-layer gate: wire codec round-trips, fuzz seed corpus, and the
 # in-process sqlsheetd integration suite (32 concurrent sessions vs serial
@@ -25,10 +28,11 @@ serve-test:
 	$(GO) test ./internal/wire/ ./internal/server/
 
 # lint-hotpath flags direct interpreter entry points (eval.Eval / eval.EvalBool)
-# in the executor and spreadsheet engine. Per-row loops there must go through
-# compiled expressions; a deliberate interpreter call needs an `interp-ok:`
-# comment on the same line justifying it (one-time setup, compilation-off
-# fallback, ...).
+# in the executor and spreadsheet engine, and per-row types.Value boxing
+# (Column.Value / types.New*) inside the vectorized kernel files — kernel
+# loops must stay on the typed vectors. A deliberate exception needs an
+# `interp-ok:` comment on the same line justifying it (one-time setup,
+# compilation-off fallback, boxed-column fallback, once-per-group work, ...).
 lint-hotpath:
 	@bad=$$(grep -n 'eval\.\(Eval\|EvalBool\)(' internal/exec/*.go internal/core/*.go \
 		| grep -v '_test\.go' | grep -v 'interp-ok:'); \
@@ -36,6 +40,14 @@ lint-hotpath:
 		echo "lint-hotpath: unannotated interpreter calls on executor/core paths:"; \
 		echo "$$bad"; \
 		echo "route through compiled expressions or add an 'interp-ok: <reason>' comment"; \
+		exit 1; \
+	fi; \
+	bad=$$(grep -n '\.Value(\|types\.New[A-Z]' internal/eval/vector.go internal/exec/vector.go \
+		| grep -v 'interp-ok:'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-hotpath: unannotated per-row boxing in vectorized kernels:"; \
+		echo "$$bad"; \
+		echo "stay on the typed vectors or add an 'interp-ok: <reason>' comment"; \
 		exit 1; \
 	fi; \
 	echo "lint-hotpath: ok"
@@ -52,6 +64,14 @@ vet:
 # changes that touch goroutines or shared state.
 race: vet
 	$(GO) test -race ./...
+
+# Targeted race pass over the vectorized cold path: the columnar packages,
+# the kernel compiler, the executor/core consumers, and the root ablation
+# property tests (TestVectorized* runs the kernels morsel-parallel against
+# the shared image cache and selection pool). Part of `make verify`.
+race-vector:
+	$(GO) test -race ./internal/colstore/ ./internal/blockstore/ ./internal/eval/ ./internal/exec/ ./internal/core/
+	$(GO) test -race -run 'TestVectorized|TestExplainVectorized|TestParallelOperatorsEqualSerial' .
 
 # Morsel-driven operator benchmarks swept across core counts; compare ns/op
 # at -cpu 1 vs 4 (see BENCH_parallel.json for a recorded baseline).
@@ -85,6 +105,17 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -diff BENCH_storage.json -out BENCH_storage.json \
 		-command "make bench-compare" \
 		-note "data-movement baselines: partition build, external merge sort, spill throughput"
+
+# Vectorized cold-path benchmark: columnar selection kernels and key
+# encoders against the row-at-a-time compiled closures, ablated with
+# Config.DisableVectorizedExec (results are byte-identical either way — see
+# TestVectorized* in vector_test.go). cmd/benchjson diffs against the
+# checked-in BENCH_vector.json baseline and rewrites it.
+bench-vector:
+	$(GO) test -run '^$$' -bench 'BenchmarkColdScanFilter|BenchmarkColdGroupBy' -benchmem . | \
+	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json \
+		-command "make bench-vector" \
+		-note "cold-path vectorization: columnar kernels vs row-at-a-time closures (DisableVectorizedExec ablation)"
 
 # Serving-layer throughput: end-to-end client round-trips at 1, 8 and 64
 # concurrent sessions, serving-path cache cold vs warm. cmd/benchjson diffs

@@ -313,6 +313,13 @@ func compiledBenchDB(b *testing.B, disable bool) *sqlsheet.DB {
 	b.Helper()
 	db := sqlsheet.Open()
 	db.Configure(sqlsheet.Config{DisableCompiledEval: disable, DisablePlanCache: true})
+	fillEF(b, db)
+	return db
+}
+
+// fillEF creates and loads the shared expression-benchmark fact table.
+func fillEF(b *testing.B, db *sqlsheet.DB) {
+	b.Helper()
 	db.MustExec(`CREATE TABLE ef (r TEXT, p TEXT, t INT, s FLOAT)`)
 	regions := []string{"west", "east", "north", "south"}
 	products := []string{"dvd", "vcr", "tv", "video", "dslr", "disk", "amp", "tape"}
@@ -329,7 +336,6 @@ func compiledBenchDB(b *testing.B, disable bool) *sqlsheet.DB {
 	if err := db.Insert("ef", rows...); err != nil {
 		b.Fatal(err)
 	}
-	return db
 }
 
 // BenchmarkCompiledFilter measures an expression-heavy WHERE clause with
@@ -350,6 +356,56 @@ func BenchmarkCompiledFilter(b *testing.B) {
 	}{{"compiled", false}, {"interpreted", true}} {
 		b.Run(v.name, func(b *testing.B) {
 			db := compiledBenchDB(b, v.disable)
+			runQuery(b, db, q)
+		})
+	}
+}
+
+// coldBenchDB is the vectorization-ablation variant of compiledBenchDB:
+// compiled closures stay on in both legs so the comparison isolates columnar
+// kernels against the row-at-a-time closure loop, and the plan cache stays
+// off so every iteration takes the cold serving path. The columnar image is
+// version-cached on the catalog table, as on any served table.
+func coldBenchDB(b *testing.B, disableVec bool) *sqlsheet.DB {
+	b.Helper()
+	db := sqlsheet.Open()
+	db.Configure(sqlsheet.Config{DisableVectorizedExec: disableVec, DisablePlanCache: true})
+	fillEF(b, db)
+	return db
+}
+
+// BenchmarkColdScanFilter measures the cold scan-filter path: a selective
+// kernel-supported predicate (BETWEEN, LIKE, IN, comparisons — no
+// arithmetic) over the 60k-row fact table, vectorized selection kernels
+// versus the per-row compiled closure (Config.DisableVectorizedExec).
+func BenchmarkColdScanFilter(b *testing.B) {
+	q := `SELECT r, p, t FROM ef
+		WHERE t BETWEEN 1981 AND 2004
+		  AND (p LIKE 'd%' OR p IN ('vcr', 'tv', 'amp', 'tape', 'video', 'audio', 'cd', 'md', 'laser'))
+		  AND r <> 'north'
+		  AND s > 60.0`
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"vectorized", false}, {"interpreted", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			db := coldBenchDB(b, v.disable)
+			runQuery(b, db, q)
+		})
+	}
+}
+
+// BenchmarkColdGroupBy measures the columnar key encoder on the group-by
+// path: grouping keys are plain columns, so the vectorized leg encodes keys
+// straight from the dictionary/int vectors instead of boxing per row.
+func BenchmarkColdGroupBy(b *testing.B) {
+	q := `SELECT r, p, SUM(s), COUNT(*) FROM ef WHERE t > 1984 GROUP BY r, p`
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"vectorized", false}, {"interpreted", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			db := coldBenchDB(b, v.disable)
 			runQuery(b, db, q)
 		})
 	}
@@ -419,6 +475,10 @@ func BenchmarkRepeatedQuery(b *testing.B) {
 		cfg  sqlsheet.Config
 	}{
 		{"cold", sqlsheet.Config{DisablePlanCache: true}},
+		// Cold with the vectorized cold path ablated: the gap between the
+		// two cold legs is what columnar scans/partition-key encoding buy
+		// before any cache tier kicks in (DESIGN.md §12).
+		{"cold-novec", sqlsheet.Config{DisablePlanCache: true, DisableVectorizedExec: true}},
 		{"warm-plan-only", sqlsheet.Config{DisableResultCache: true}},
 		{"warm", sqlsheet.Config{}},
 	}

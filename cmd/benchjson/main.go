@@ -126,7 +126,11 @@ func main() {
 
 // diffBaseline prints the new/old ns_per_op ratio for every benchmark present
 // in both runs. A missing or unreadable baseline is not an error — the first
-// recording has nothing to diff against.
+// recording has nothing to diff against. Benchmark sets are allowed to drift
+// between recordings: results without a baseline entry are reported as (new)
+// and baseline entries absent from this run as (gone), so adding or retiring
+// a benchmark never breaks the comparison, but silent set changes are still
+// visible in the diff output.
 func diffBaseline(path string, cur []result) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -137,14 +141,22 @@ func diffBaseline(path string, cur []result) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %v", path, err)
 	}
+	key := func(r result) string { return fmt.Sprintf("%s@%d", r.Name, r.CPU) }
 	old := make(map[string]result, len(base.Results))
 	for _, r := range base.Results {
-		old[fmt.Sprintf("%s@%d", r.Name, r.CPU)] = r
+		old[key(r)] = r
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (recorded %s)\n", path, base.Recorded)
+	seen := make(map[string]bool, len(cur))
 	for _, r := range cur {
-		b, ok := old[fmt.Sprintf("%s@%d", r.Name, r.CPU)]
-		if !ok || b.NsOp == 0 {
+		seen[key(r)] = true
+		b, ok := old[key(r)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12s -> %12d ns/op  (new)\n",
+				r.Name, r.CPU, "-", r.NsOp)
+			continue
+		}
+		if b.NsOp == 0 {
 			continue
 		}
 		ratio := float64(r.NsOp) / float64(b.NsOp)
@@ -156,6 +168,12 @@ func diffBaseline(path string, cur []result) error {
 		}
 		fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12d -> %12d ns/op  (%.2fx)%s\n",
 			r.Name, r.CPU, b.NsOp, r.NsOp, ratio, tag)
+	}
+	for _, r := range base.Results {
+		if !seen[key(r)] {
+			fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12d -> %12s ns/op  (gone)\n",
+				r.Name, r.CPU, r.NsOp, "-")
+		}
 	}
 	return nil
 }

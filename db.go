@@ -154,6 +154,10 @@ type Config struct {
 	// DisableAsyncSpill keeps spill stores on synchronous eviction writes
 	// and disables read-ahead; results are byte-identical either way.
 	DisableAsyncSpill bool
+	// DisableVectorizedExec keeps scans, filters and key encoding on the
+	// row-at-a-time engine instead of columnar batch kernels over cached
+	// table images; results are byte-identical either way (ablation knob).
+	DisableVectorizedExec bool
 	// PromoteIndependentDims enables S4-style duplication of an
 	// independent dimension into the distribution key when PBY is empty.
 	PromoteIndependentDims bool
@@ -757,20 +761,21 @@ func ToValue(v any) Value {
 func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
-		Ctx:                  ctx,
-		Parallel:             o.Parallel,
-		Workers:              o.Workers,
-		MorselSize:           o.MorselSize,
-		Buckets:              o.Buckets,
-		MemoryBudget:         o.MemoryBudget,
-		SpillDir:             o.SpillDir,
-		DisableSingleScan:    o.DisableSingleScan,
-		DisableRangeProbe:    o.DisableRangeProbe,
-		UseBTreeIndex:        o.UseBTreeIndex,
-		DisableCompiledEval:  o.DisableCompiledEval,
-		DisableParallelBuild: o.DisableParallelBuild,
-		DisableParallelSort:  o.DisableParallelSort,
-		DisableAsyncSpill:    o.DisableAsyncSpill,
+		Ctx:                   ctx,
+		Parallel:              o.Parallel,
+		Workers:               o.Workers,
+		MorselSize:            o.MorselSize,
+		Buckets:               o.Buckets,
+		MemoryBudget:          o.MemoryBudget,
+		SpillDir:              o.SpillDir,
+		DisableSingleScan:     o.DisableSingleScan,
+		DisableRangeProbe:     o.DisableRangeProbe,
+		UseBTreeIndex:         o.UseBTreeIndex,
+		DisableCompiledEval:   o.DisableCompiledEval,
+		DisableParallelBuild:  o.DisableParallelBuild,
+		DisableParallelSort:   o.DisableParallelSort,
+		DisableAsyncSpill:     o.DisableAsyncSpill,
+		DisableVectorizedExec: o.DisableVectorizedExec,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -786,6 +791,7 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		EnableMVRewrite:        o.EnableMVRewrite,
 		DisableParallelBuild:   o.DisableParallelBuild,
 		DisableParallelSort:    o.DisableParallelSort,
+		DisableVectorizedExec:  o.DisableVectorizedExec,
 		Exec:                   ex,
 	}
 	return ex

@@ -5,19 +5,43 @@ import (
 	"fmt"
 	"math"
 
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/types"
 )
 
 // codec serializes blocks of rows for the spill file. The format is
-// private to a single store's lifetime, so it carries no versioning:
+// private to a single store's lifetime, so it carries no cross-version
+// compatibility — just a leading tag selecting the encoding:
 //
-//	block  := rowCount:uvarint row*
-//	row    := valCount:uvarint value*
-//	value  := kind:byte payload
+//	block    := tag:byte payload
+//	tag 1    := columnar page (colstore.AppendPage) — the normal case;
+//	            rectangular blocks compress column-major with dictionary
+//	            and varint encoding and decode without per-value kind tags
+//	tag 0    := legacy row-major fallback, kept for ragged blocks:
+//	rowBlock := rowCount:uvarint row*
+//	row      := valCount:uvarint value*
+//	value    := kind:byte payload
 type codec struct{}
 
+const (
+	blockRows     byte = 0
+	blockColumnar byte = 1
+)
+
 func (codec) encodeBlock(rows []types.Row) []byte {
-	var buf []byte
+	ncols := 0
+	if len(rows) > 0 {
+		ncols = len(rows[0])
+	}
+	buf := []byte{blockColumnar}
+	if out, ok := colstore.AppendPage(buf, ncols, rows); ok {
+		return out
+	}
+	return codec{}.encodeRowBlock(rows)
+}
+
+func (codec) encodeRowBlock(rows []types.Row) []byte {
+	buf := []byte{blockRows}
 	buf = binary.AppendUvarint(buf, uint64(len(rows)))
 	for _, r := range rows {
 		buf = binary.AppendUvarint(buf, uint64(len(r)))
@@ -39,6 +63,21 @@ func (codec) encodeBlock(rows []types.Row) []byte {
 }
 
 func (codec) decodeBlock(data []byte) ([]types.Row, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty block")
+	}
+	tag := data[0]
+	data = data[1:]
+	switch tag {
+	case blockColumnar:
+		return colstore.DecodePage(data)
+	case blockRows:
+		return codec{}.decodeRowBlock(data)
+	}
+	return nil, fmt.Errorf("unknown block tag %d", tag)
+}
+
+func (codec) decodeRowBlock(data []byte) ([]types.Row, error) {
 	pos := 0
 	uv := func() (uint64, error) {
 		v, n := binary.Uvarint(data[pos:])

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/types"
 )
 
@@ -29,6 +30,60 @@ type Table struct {
 	Schema  *types.Schema
 	Rows    []types.Row
 	Version atomic.Int64
+
+	// colMu serializes columnar image builds; colImg caches the latest
+	// image, keyed by the Version it was built at (see Columnar).
+	colMu  sync.Mutex
+	colImg atomic.Pointer[colImage]
+}
+
+// colImage is one cached columnar image: the table's rows transposed into
+// typed vectors at a specific version. img is nil when the rows were not
+// rectangular at that version (the negative result is cached too). Besides
+// the version, the key records the row slice's identity (length and first
+// element address) so code that swaps Rows wholesale without bumping
+// Version — tests mostly — still gets a fresh image; in-place row
+// replacement (UPDATE/DELETE) always bumps Version.
+type colImage struct {
+	version int64
+	nrows   int
+	first   *types.Row
+	img     *colstore.Table
+}
+
+func (ci *colImage) fresh(v int64, rows []types.Row) bool {
+	if ci == nil || ci.version != v || ci.nrows != len(rows) {
+		return false
+	}
+	if len(rows) == 0 {
+		return ci.first == nil
+	}
+	return ci.first == &rows[0]
+}
+
+// Columnar returns a columnar image of the table's current rows, built
+// lazily and cached until the next mutation invalidates it. It returns nil
+// when the rows are not rectangular. Callers must hold whatever lock makes
+// t.Rows safe to scan (the DB statement read lock); Version is read first
+// so an image is never published under a version newer than the rows it
+// was built from.
+func (t *Table) Columnar() *colstore.Table {
+	v := t.Version.Load()
+	if ci := t.colImg.Load(); ci.fresh(v, t.Rows) {
+		return ci.img
+	}
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if ci := t.colImg.Load(); ci.fresh(v, t.Rows) {
+		return ci.img
+	}
+	img := colstore.FromRows(t.Schema.Len(), t.Rows)
+	ci := &colImage{version: v, nrows: len(t.Rows), img: img}
+	if len(t.Rows) > 0 {
+		ci.first = &t.Rows[0]
+	}
+	t.colImg.Store(ci)
+	return img
 }
 
 // Catalog is a registry of tables. It is safe for concurrent readers with a

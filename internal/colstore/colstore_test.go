@@ -1,0 +1,358 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+// randValue draws a value from a distribution that covers every
+// representation the column builder can choose: NULLs, small and extreme
+// ints, integral and fractional floats (including NaN, ±Inf, and the int64
+// normalization boundary), low-cardinality strings, and booleans.
+func randValue(rng *rand.Rand) types.Value {
+	switch rng.Intn(12) {
+	case 0:
+		return types.Null
+	case 1:
+		return types.NewInt(rng.Int63() - rng.Int63())
+	case 2:
+		return types.NewInt(int64(rng.Intn(10)))
+	case 3:
+		return types.NewFloat(rng.NormFloat64())
+	case 4:
+		return types.NewFloat(float64(rng.Intn(100))) // integral float
+	case 5:
+		switch rng.Intn(4) {
+		case 0:
+			return types.NewFloat(math.NaN())
+		case 1:
+			return types.NewFloat(math.Inf(1))
+		case 2:
+			return types.NewFloat(math.Inf(-1))
+		default:
+			return types.NewFloat(float64(math.MaxInt64)) // normalization edge
+		}
+	case 6:
+		return types.NewString(fmt.Sprintf("s%d", rng.Intn(8)))
+	case 7:
+		return types.NewString("")
+	case 8:
+		return types.NewBool(rng.Intn(2) == 0)
+	default:
+		return types.NewInt(int64(rng.Intn(1000)))
+	}
+}
+
+// sameKind constrains a column to one kind so typed (non-boxed)
+// representations are exercised; p controls NULL density.
+func randTypedColumnRows(rng *rand.Rand, n int, kind types.Kind, pNull float64) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		if rng.Float64() < pNull {
+			out[i] = types.Null
+			continue
+		}
+		switch kind {
+		case types.KindInt:
+			out[i] = types.NewInt(rng.Int63() - rng.Int63())
+		case types.KindFloat:
+			if rng.Intn(3) == 0 {
+				out[i] = types.NewFloat(float64(rng.Intn(50)))
+			} else {
+				out[i] = types.NewFloat(rng.NormFloat64())
+			}
+		case types.KindString:
+			out[i] = types.NewString(fmt.Sprintf("v%d", rng.Intn(16)))
+		case types.KindBool:
+			out[i] = types.NewBool(rng.Intn(2) == 0)
+		}
+	}
+	return out
+}
+
+func colFromValues(t *testing.T, vals []types.Value) *Column {
+	t.Helper()
+	rows := make([]types.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = types.Row{v}
+	}
+	tbl := FromRows(1, rows)
+	if tbl == nil {
+		t.Fatal("FromRows returned nil for rectangular rows")
+	}
+	return tbl.Cols[0]
+}
+
+// TestValueRoundTrip: Column.Value(i) must reconstruct exactly the value the
+// source row held, for every representation the builder picks.
+func TestValueRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]types.Value{
+		randTypedColumnRows(rng, 300, types.KindInt, 0),
+		randTypedColumnRows(rng, 300, types.KindInt, 0.3),
+		randTypedColumnRows(rng, 300, types.KindFloat, 0.3),
+		randTypedColumnRows(rng, 300, types.KindString, 0.3),
+		randTypedColumnRows(rng, 300, types.KindBool, 0.3),
+		make([]types.Value, 100), // all-null
+	}
+	mixed := make([]types.Value, 300)
+	for i := range mixed {
+		mixed[i] = randValue(rng)
+	}
+	cases = append(cases, mixed)
+	for ci, vals := range cases {
+		c := colFromValues(t, vals)
+		for i, want := range vals {
+			got := c.Value(i)
+			// NaN != NaN under ==; compare bit patterns for floats.
+			if got.K != want.K || got.I != want.I || got.S != want.S ||
+				math.Float64bits(got.F) != math.Float64bits(want.F) {
+				t.Fatalf("case %d row %d: Value()=%#v want %#v", ci, i, got, want)
+			}
+			if c.IsNull(i) != want.IsNull() {
+				t.Fatalf("case %d row %d: IsNull mismatch", ci, i)
+			}
+		}
+	}
+}
+
+// TestAppendKeyMatchesTypes: Column.AppendKey must be byte-identical to
+// types.AppendKey over the boxed value, including the integral-float-to-int
+// normalization that join and group-by key encoding depend on.
+func TestAppendKeyMatchesTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	kinds := []types.Kind{types.KindInt, types.KindFloat, types.KindString, types.KindBool}
+	for _, kind := range kinds {
+		for _, pNull := range []float64{0, 0.4} {
+			vals := randTypedColumnRows(rng, 500, kind, pNull)
+			c := colFromValues(t, vals)
+			for i, v := range vals {
+				want := types.AppendKey(nil, v)
+				got := c.AppendKey(nil, i)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("kind %v row %d (%v): key %x want %x", kind, i, v, got, want)
+				}
+			}
+		}
+	}
+	// Mixed (boxed) and all-null columns go through the same fallback.
+	mixed := make([]types.Value, 400)
+	for i := range mixed {
+		mixed[i] = randValue(rng)
+	}
+	for _, vals := range [][]types.Value{mixed, make([]types.Value, 50)} {
+		c := colFromValues(t, vals)
+		for i, v := range vals {
+			if got, want := c.AppendKey(nil, i), types.AppendKey(nil, v); !bytes.Equal(got, want) {
+				t.Fatalf("row %d (%v): key %x want %x", i, v, got, want)
+			}
+		}
+	}
+}
+
+// TestDictOverflow: a string column whose cardinality exceeds DictMaxEntries
+// must abandon the dictionary and store plain strings, losslessly.
+func TestDictOverflow(t *testing.T) {
+	n := DictMaxEntries + 1000 // distinct non-NULL strings must exceed the cap
+	vals := make([]types.Value, n)
+	for i := range vals {
+		if i%97 == 0 {
+			vals[i] = types.Null
+		} else {
+			vals[i] = types.NewString(fmt.Sprintf("u%d", i))
+		}
+	}
+	c := colFromValues(t, vals)
+	if c.IsDict() {
+		t.Fatalf("expected dictionary overflow to plain strings at %d entries", n)
+	}
+	if c.Strs == nil {
+		t.Fatal("plain string vector not populated after overflow")
+	}
+	for i, v := range vals {
+		if c.IsNull(i) != v.IsNull() {
+			t.Fatalf("row %d: IsNull mismatch", i)
+		}
+		if !v.IsNull() && c.Str(i) != v.S {
+			t.Fatalf("row %d: Str()=%q want %q", i, c.Str(i), v.S)
+		}
+	}
+}
+
+// TestDictEncoding: a low-cardinality column stays dictionary-encoded and
+// DictCode agrees with the stored codes.
+func TestDictEncoding(t *testing.T) {
+	vals := []types.Value{
+		types.NewString("a"), types.NewString("b"), types.Null,
+		types.NewString("a"), types.NewString(""), types.NewString("b"),
+	}
+	c := colFromValues(t, vals)
+	if !c.IsDict() {
+		t.Fatal("expected dictionary encoding")
+	}
+	if len(c.Dict) != 3 { // "a", "b", ""
+		t.Fatalf("dict size %d want 3", len(c.Dict))
+	}
+	for _, s := range []string{"a", "b", ""} {
+		code, ok := c.DictCode(s)
+		if !ok {
+			t.Fatalf("DictCode(%q) missing", s)
+		}
+		if c.Dict[code] != s {
+			t.Fatalf("DictCode(%q)=%d maps to %q", s, code, c.Dict[code])
+		}
+	}
+	if _, ok := c.DictCode("zzz"); ok {
+		t.Fatal("DictCode matched absent string")
+	}
+}
+
+// TestFromRowsRagged: ragged row sets have no columnar image.
+func TestFromRowsRagged(t *testing.T) {
+	rows := []types.Row{{types.NewInt(1), types.NewInt(2)}, {types.NewInt(3)}}
+	if FromRows(2, rows) != nil {
+		t.Fatal("FromRows accepted ragged rows")
+	}
+	if tbl := FromRows(0, nil); tbl == nil || tbl.NRows != 0 {
+		t.Fatal("FromRows rejected empty relation")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	tbl := &Table{NRows: ChunkSize*2 + 7}
+	if got := tbl.NumChunks(); got != 3 {
+		t.Fatalf("NumChunks=%d want 3", got)
+	}
+	lo, hi := tbl.ChunkBounds(2)
+	if lo != 2*ChunkSize || hi != tbl.NRows {
+		t.Fatalf("ChunkBounds(2)=[%d,%d)", lo, hi)
+	}
+	empty := &Table{}
+	if empty.NumChunks() != 0 {
+		t.Fatal("empty table has chunks")
+	}
+}
+
+// TestPageRoundTrip: AppendPage/DecodePage must reproduce rows exactly for
+// every column representation, including empty and zero-width relations.
+func TestPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mkRows := func(ncols, n int, gen func(ci, ri int) types.Value) []types.Row {
+		rows := make([]types.Row, n)
+		for i := range rows {
+			rows[i] = make(types.Row, ncols)
+			for j := range rows[i] {
+				rows[i][j] = gen(j, i)
+			}
+		}
+		return rows
+	}
+	cases := []struct {
+		name  string
+		ncols int
+		rows  []types.Row
+	}{
+		{"empty", 3, nil},
+		{"zero-width", 0, mkRows(0, 5, nil)},
+		{"typed", 4, mkRows(4, 777, func(ci, ri int) types.Value {
+			switch ci {
+			case 0:
+				return types.NewInt(rng.Int63() - rng.Int63())
+			case 1:
+				return types.NewFloat(rng.NormFloat64())
+			case 2:
+				return types.NewString(fmt.Sprintf("g%d", rng.Intn(9)))
+			default:
+				return types.NewBool(ri%2 == 0)
+			}
+		})},
+		{"nullable", 3, mkRows(3, 500, func(ci, ri int) types.Value {
+			if rng.Intn(3) == 0 {
+				return types.Null
+			}
+			return types.NewInt(int64(ri))
+		})},
+		{"all-null", 2, mkRows(2, 64, func(ci, ri int) types.Value { return types.Null })},
+		{"mixed", 2, mkRows(2, 400, func(ci, ri int) types.Value { return randValue(rng) })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf, ok := AppendPage(nil, tc.ncols, tc.rows)
+			if !ok {
+				t.Fatal("AppendPage rejected rectangular rows")
+			}
+			got, err := DecodePage(buf)
+			if err != nil {
+				t.Fatalf("DecodePage: %v", err)
+			}
+			if len(got) != len(tc.rows) {
+				t.Fatalf("decoded %d rows want %d", len(got), len(tc.rows))
+			}
+			for i := range tc.rows {
+				if len(got[i]) != len(tc.rows[i]) {
+					t.Fatalf("row %d width %d want %d", i, len(got[i]), len(tc.rows[i]))
+				}
+				for j, want := range tc.rows[i] {
+					g := got[i][j]
+					if g.K != want.K || g.I != want.I || g.S != want.S ||
+						math.Float64bits(g.F) != math.Float64bits(want.F) {
+						t.Fatalf("row %d col %d: %#v want %#v", i, j, g, want)
+					}
+				}
+			}
+		})
+	}
+	// Ragged rows must be rejected, not silently truncated.
+	ragged := []types.Row{{types.NewInt(1)}, {}}
+	if _, ok := AppendPage(nil, 1, ragged); ok {
+		t.Fatal("AppendPage accepted ragged rows")
+	}
+}
+
+// TestDecodePageCorrupt: truncated pages must error, not panic.
+func TestDecodePageCorrupt(t *testing.T) {
+	rows := []types.Row{{types.NewInt(7), types.NewString("x")}}
+	buf, _ := AppendPage(nil, 2, rows)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodePage(buf[:cut]); err == nil {
+			t.Fatalf("DecodePage accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Fatal("neighboring bits disturbed")
+	}
+}
+
+// TestGetSel: the selection pool hands back empty buffers with adequate
+// capacity and recycles without aliasing live data.
+func TestGetSel(t *testing.T) {
+	p := GetSel(100)
+	if len(*p) != 0 || cap(*p) < 100 {
+		t.Fatalf("GetSel: len=%d cap=%d", len(*p), cap(*p))
+	}
+	*p = append(*p, 1, 2, 3)
+	PutSel(p)
+	q := GetSel(10)
+	if len(*q) != 0 {
+		t.Fatal("recycled buffer not reset")
+	}
+	PutSel(q)
+}

@@ -1,0 +1,49 @@
+package colstore
+
+import "sqlsheet/internal/types"
+
+// Table is the column-major image of a row relation. Rows is the source
+// row slice the image was built from: vectorized filters emit these very
+// row values (never re-materialized ones), so results are pointer-identical
+// to what the row-at-a-time path produces.
+type Table struct {
+	NRows int
+	Cols  []*Column
+	Rows  []types.Row
+}
+
+// Rectangular reports whether every row has exactly ncols values; only
+// rectangular row sets have a columnar image.
+func Rectangular(ncols int, rows []types.Row) bool {
+	for _, r := range rows {
+		if len(r) != ncols {
+			return false
+		}
+	}
+	return true
+}
+
+// FromRows builds the columnar image of rows, or nil when rows are ragged.
+func FromRows(ncols int, rows []types.Row) *Table {
+	if !Rectangular(ncols, rows) {
+		return nil
+	}
+	t := &Table{NRows: len(rows), Cols: make([]*Column, ncols), Rows: rows}
+	for ci := range t.Cols {
+		t.Cols[ci] = buildColumn(ci, rows)
+	}
+	return t
+}
+
+// NumChunks returns the number of ChunkSize-row chunks covering the table.
+func (t *Table) NumChunks() int { return (t.NRows + ChunkSize - 1) / ChunkSize }
+
+// ChunkBounds returns the [lo, hi) row range of chunk k.
+func (t *Table) ChunkBounds(k int) (lo, hi int) {
+	lo = k * ChunkSize
+	hi = lo + ChunkSize
+	if hi > t.NRows {
+		hi = t.NRows
+	}
+	return lo, hi
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"sqlsheet/internal/btree"
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/types"
 )
 
@@ -42,6 +43,32 @@ type BuildOptions struct {
 	// Workers is the number of build workers; <=1 builds serially. The
 	// output is identical for every value.
 	Workers int
+	// Cols, when non-nil, supplies columnar vectors for the working
+	// relation so the scan phase encodes PBY/DBY keys straight from typed
+	// columns. The key bytes are identical to the row path's
+	// (colstore.Column.AppendKey is pinned to types.AppendKey).
+	Cols *ColSource
+}
+
+// ColSource maps working-schema ordinals to columnar vectors. Cols is
+// indexed by ordinal (a nil entry falls back to the boxed row value);
+// RowIdx maps working-relation positions to vector rows (nil = identity).
+type ColSource struct {
+	Cols   []*colstore.Column
+	RowIdx []int32
+}
+
+// appendKey appends the key bytes for working-relation position ri,
+// ordinal ord, preferring the typed vector when one is available.
+func (cs *ColSource) appendKey(buf []byte, rows []types.Row, ri, ord int) []byte {
+	if cs != nil && ord < len(cs.Cols) && cs.Cols[ord] != nil {
+		r := ri
+		if cs.RowIdx != nil {
+			r = int(cs.RowIdx[ri])
+		}
+		return cs.Cols[ord].AppendKey(buf, r)
+	}
+	return types.AppendKey(buf, rows[ri][ord]) // interp-ok: row fallback
 }
 
 // buildChunk holds one scan task's encoded keys. Key bytes live in flat
@@ -81,7 +108,7 @@ func BuildPartitionsOpts(m *Model, rows []types.Row, nBuckets int, newStore Stor
 	runBuildTasks(o.Workers, nChunks, func(ci int) {
 		lo := ci * buildMorsel
 		hi := min(lo+buildMorsel, len(rows))
-		chunks[ci] = scanChunk(m, rows, lo, hi, nBuckets)
+		chunks[ci] = scanChunk(m, rows, lo, hi, nBuckets, o.Cols)
 	})
 	errs := make([]error, nBuckets)
 	runBuildTasks(o.Workers, nBuckets, func(bi int) {
@@ -140,7 +167,7 @@ func runBuildTasks(workers, n int, fn func(i int)) {
 // scanChunk encodes rows [lo,hi) into a chunk arena. Both hashes are folded
 // into the same pass that appends the key bytes, so each key byte is touched
 // exactly once.
-func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int) *buildChunk {
+func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int, cols *ColSource) *buildChunk {
 	n := hi - lo
 	c := &buildChunk{
 		lo:      lo,
@@ -150,11 +177,11 @@ func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int) *buildChunk {
 		dbyHash: make([]uint32, n),
 	}
 	for i := 0; i < n; i++ {
-		row := rows[lo+i]
+		ri := lo + i
 		h := uint32(fnvOffset32)
 		for p := 0; p < m.NPby; p++ {
 			pre := len(c.pbyFlat)
-			c.pbyFlat = types.AppendKey(c.pbyFlat, row[p])
+			c.pbyFlat = cols.appendKey(c.pbyFlat, rows, ri, p)
 			h = hashExtend(h, c.pbyFlat[pre:])
 		}
 		c.pbyOff[i+1] = int32(len(c.pbyFlat))
@@ -162,7 +189,7 @@ func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int) *buildChunk {
 		h = fnvOffset32
 		for d := 0; d < m.NDby; d++ {
 			pre := len(c.dbyFlat)
-			c.dbyFlat = types.AppendKey(c.dbyFlat, row[m.NPby+d])
+			c.dbyFlat = cols.appendKey(c.dbyFlat, rows, ri, m.NPby+d)
 			h = hashExtend(h, c.dbyFlat[pre:])
 		}
 		c.dbyOff[i+1] = int32(len(c.dbyFlat))

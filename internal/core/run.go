@@ -54,6 +54,10 @@ type RunOptions struct {
 	// DisableCompiledEval routes formula evaluation through the tree-walking
 	// interpreter instead of compiled closures (ablation knob).
 	DisableCompiledEval bool
+	// Cols, when non-nil, supplies columnar vectors for the working
+	// relation's key columns; the partition build encodes PBY/DBY keys
+	// from them instead of boxed row values (byte-identical either way).
+	Cols *ColSource
 	// Prebuilt, when non-nil, skips the partition build and evaluates this
 	// structure instead. The caller must pass a private copy (see
 	// PartitionSet.CloneForReuse); evaluation mutates it and Run closes it.
@@ -95,6 +99,7 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 		ps, err = BuildPartitionsOpts(m, rows, nb, newStore, BuildOptions{
 			UseBTree: opts.UseBTreeIndex,
 			Workers:  opts.BuildWorkers,
+			Cols:     opts.Cols,
 		})
 		if err != nil {
 			return nil, blockstore.Stats{}, err

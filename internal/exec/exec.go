@@ -12,6 +12,7 @@ import (
 
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/eval"
 	"sqlsheet/internal/plan"
 	"sqlsheet/internal/sqlast"
@@ -65,6 +66,11 @@ type Options struct {
 	// DisableAsyncSpill keeps spill stores on synchronous eviction I/O and
 	// disables read-ahead (ablation; identical bytes either way).
 	DisableAsyncSpill bool
+	// DisableVectorizedExec keeps scans, filters and key encoding on the
+	// row-at-a-time paths instead of columnar batch kernels (ablation knob;
+	// identical bytes either way). The plan side carries the same flag in
+	// plan.Options so kernels are not even compiled when it is set.
+	DisableVectorizedExec bool
 	// PlanOpts is used when the executor plans subqueries itself.
 	PlanOpts *plan.Options
 	// Structs, when non-nil, lets execSpreadsheet reuse cached access
@@ -73,10 +79,19 @@ type Options struct {
 	Structs StructureCache
 }
 
-// Result is a materialized relation.
+// Result is a materialized relation. Img/RowIdx/ColMap, when set, record
+// columnar provenance: the rows are a selection over the columnar image Img
+// — Rows[i] is image row RowIdx[i] (identity when RowIdx is nil) and output
+// column j is image column ColMap[j] (identity when ColMap is nil).
+// Downstream operators use the provenance for batch kernels and columnar
+// key encoding; operators that cannot maintain it drop it, which is always
+// correct (the row path is the source of truth).
 type Result struct {
 	Schema *eval.BoundSchema
 	Rows   []types.Row
+	Img    *colstore.Table
+	RowIdx []int32
+	ColMap []int
 }
 
 // Executor runs plans. Create one per top-level statement: subquery and CTE
@@ -207,7 +222,9 @@ func (ex *Executor) Execute(n plan.Node, outer *eval.Binding) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schema: n.Schema(), Rows: in.Rows}, nil
+		// Aliasing renames columns without reordering rows or columns, so
+		// columnar provenance carries through unchanged.
+		return &Result{Schema: n.Schema(), Rows: in.Rows, Img: in.Img, RowIdx: in.RowIdx, ColMap: in.ColMap}, nil
 	case *plan.OneRow:
 		return &Result{Schema: n.Schema(), Rows: []types.Row{{}}}, nil
 	case *plan.Window:
@@ -255,6 +272,9 @@ func pickC(cs []eval.CompiledExpr, i int) eval.CompiledExpr {
 }
 
 func (ex *Executor) execScan(n *plan.Scan, outer *eval.Binding) (*Result, error) {
+	if res, err, ok := ex.execScanVec(n); ok {
+		return res, err
+	}
 	return ex.scanRows(n.Table.Rows, n.Schema(), n.Filter, n.FilterC, outer)
 }
 
@@ -331,6 +351,9 @@ func (ex *Executor) execFilter(n *plan.Filter, outer *eval.Binding) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	if !ex.Opts.DisableVectorizedExec && vecRunnable(in, n.CondK) {
+		return ex.vecFilter(in, n.CondK, in.Schema)
+	}
 	return ex.scanRows(in.Rows, in.Schema, n.Cond, n.CondC, outer)
 }
 
@@ -338,6 +361,57 @@ func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, 
 	in, err := ex.Execute(n.Input, outer)
 	if err != nil {
 		return nil, err
+	}
+	// Vectorized path: a projection of plain column references is a gather.
+	// Each morsel shares one flat value backing (rows are full-length
+	// sub-slices, so per-row appends cannot clobber neighbours), and
+	// columnar provenance composes through the ordinal map.
+	if !ex.Opts.DisableVectorizedExec {
+		if ords, ok := plainOrdinals(in.Schema, n.Exprs); ok {
+			rows := make([]types.Row, len(in.Rows))
+			gather := func(m morsel) {
+				w := len(ords)
+				flat := make([]types.Value, (m.Hi-m.Lo)*w)
+				for i := m.Lo; i < m.Hi; i++ {
+					out := flat[(i-m.Lo)*w : (i-m.Lo+1)*w : (i-m.Lo+1)*w]
+					src := in.Rows[i]
+					for j, o := range ords {
+						out[j] = src[o]
+					}
+					rows[i] = out
+				}
+			}
+			if nm := ex.morselCount(len(in.Rows)); nm > 0 {
+				if _, err := ex.forEachMorsel("project", len(in.Rows), func(_ int, m morsel) error {
+					gather(m)
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+			} else {
+				gather(morsel{Lo: 0, Hi: len(in.Rows)})
+			}
+			res := &Result{Schema: n.Schema(), Rows: rows}
+			if vecOK(in) && func() bool {
+				for _, o := range ords {
+					if vecCol(in, o) == nil {
+						return false
+					}
+				}
+				return true
+			}() {
+				cmap := make([]int, len(ords))
+				for j, o := range ords {
+					if in.ColMap != nil {
+						cmap[j] = in.ColMap[o]
+					} else {
+						cmap[j] = o
+					}
+				}
+				res.Img, res.RowIdx, res.ColMap = in.Img, in.RowIdx, cmap
+			}
+			return res, nil
+		}
 	}
 	projectMorsel := func(ctx *eval.Context, rows []types.Row, m morsel) error {
 		for i := m.Lo; i < m.Hi; i++ {

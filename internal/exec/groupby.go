@@ -42,24 +42,37 @@ func newGroupAcc() *groupAcc {
 	return &groupAcc{groups: map[string]*group{}}
 }
 
-// addRows aggregates rows [lo, hi) of in into acc.
-func (acc *groupAcc) addRows(n *plan.GroupBy, ctx *eval.Context, in *Result, lo, hi int) error {
-	for _, row := range in.Rows[lo:hi] {
+// addRows aggregates rows [lo, hi) of in into acc. When ke is non-nil the
+// grouping key bytes come straight from columnar vectors and key values are
+// only materialized for first-seen groups; the bytes and values are
+// identical to the closure path's.
+func (acc *groupAcc) addRows(n *plan.GroupBy, ctx *eval.Context, in *Result, ke *keyEnc, lo, hi int) error {
+	for ri := lo; ri < hi; ri++ {
+		row := in.Rows[ri]
 		ctx.Binding.Row = row
-		acc.keyBuf = acc.keyBuf[:0]
-		acc.keyVals = acc.keyVals[:0]
-		for i, k := range n.Keys {
-			v, err := evalC(ctx, pickC(n.KeysC, i), k)
-			if err != nil {
-				return err
+		if ke != nil {
+			acc.keyBuf = ke.groupKeyInto(acc.keyBuf, ri)
+		} else {
+			acc.keyBuf = acc.keyBuf[:0]
+			acc.keyVals = acc.keyVals[:0]
+			for i, k := range n.Keys {
+				v, err := evalC(ctx, pickC(n.KeysC, i), k)
+				if err != nil {
+					return err
+				}
+				acc.keyVals = append(acc.keyVals, v)
+				acc.keyBuf = types.AppendKey(acc.keyBuf, v)
 			}
-			acc.keyVals = append(acc.keyVals, v)
-			acc.keyBuf = types.AppendKey(acc.keyBuf, v)
 		}
 		g := acc.groups[string(acc.keyBuf)]
 		if g == nil {
 			var err error
-			keys := append(types.Row(nil), acc.keyVals...)
+			var keys types.Row
+			if ke != nil {
+				keys = ke.keyVals(ri)
+			} else {
+				keys = append(types.Row(nil), acc.keyVals...)
+			}
 			g, err = newGroup(n, keys)
 			if err != nil {
 				return err
@@ -152,12 +165,13 @@ func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, 
 		return nil, err
 	}
 
+	ke := ex.vecKeyEnc(in, n.Keys)
 	if nm := ex.morselCount(len(in.Rows)); nm > 0 && groupByParallelizable(n) {
 		partials := make([]*groupAcc, nm)
 		wc := ex.workerCtxs(in.Schema, outer)
 		if _, err := ex.forEachMorsel("group-by", len(in.Rows), func(w int, m morsel) error {
 			acc := newGroupAcc()
-			if err := acc.addRows(n, wc.get(w), in, m.Lo, m.Hi); err != nil {
+			if err := acc.addRows(n, wc.get(w), in, ke, m.Lo, m.Hi); err != nil {
 				return err
 			}
 			partials[m.Idx] = acc
@@ -192,7 +206,7 @@ func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, 
 
 	acc := newGroupAcc()
 	ctx := ex.ctx(in.Schema, nil, outer)
-	if err := acc.addRows(n, ctx, in, 0, len(in.Rows)); err != nil {
+	if err := acc.addRows(n, ctx, in, ke, 0, len(in.Rows)); err != nil {
 		return nil, err
 	}
 	rows, err := acc.rows(n)

@@ -91,6 +91,7 @@ type joinEntry struct {
 // their hash table by draining the buckets in morsel order (keeping row
 // indices ascending). No global lock is ever taken.
 func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, buildKeysC []eval.CompiledExpr, outer *eval.Binding) (*joinTable, error) {
+	ke := ex.vecKeyEnc(buildRes, buildKeys)
 	nm := ex.morselCount(len(buildRes.Rows))
 	if nm > 0 && !anyHasSubquery(buildKeys) {
 		np := ex.workers()
@@ -103,9 +104,13 @@ func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, bu
 			for i := m.Lo; i < m.Hi; i++ {
 				var ok bool
 				var err error
-				buf, ok, err = evalKeysInto(buf, ctx, buildRes.Rows[i], buildKeys, buildKeysC)
-				if err != nil {
-					return err
+				if ke != nil {
+					buf, ok = ke.keyInto(buf, i)
+				} else {
+					buf, ok, err = evalKeysInto(buf, ctx, buildRes.Rows[i], buildKeys, buildKeysC)
+					if err != nil {
+						return err
+					}
 				}
 				if ok {
 					k := string(buf) // stored in the table; must own its bytes
@@ -140,9 +145,13 @@ func (ex *Executor) buildJoinTable(buildRes *Result, buildKeys []sqlast.Expr, bu
 	for i, row := range buildRes.Rows {
 		var ok bool
 		var err error
-		buf, ok, err = evalKeysInto(buf, bctx, row, buildKeys, buildKeysC)
-		if err != nil {
-			return nil, err
+		if ke != nil {
+			buf, ok = ke.keyInto(buf, i)
+		} else {
+			buf, ok, err = evalKeysInto(buf, bctx, row, buildKeys, buildKeysC)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if ok {
 			table[string(buf)] = append(table[string(buf)], i)
@@ -188,6 +197,7 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	// Each probe row's matches arrive in ascending build-row order, and
 	// outer-join preservation is decided per probe row, so per-morsel
 	// outputs stitched in morsel order equal the serial output exactly.
+	pke := ex.vecKeyEnc(probeRes, probeKeys)
 	probeMorsel := func(pctx, cctx *eval.Context, m morsel) ([]types.Row, error) {
 		var out []types.Row
 		var kbuf []byte
@@ -195,9 +205,13 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 			probe := probeRes.Rows[i]
 			var ok bool
 			var err error
-			kbuf, ok, err = evalKeysInto(kbuf, pctx, probe, probeKeys, probeKeysC)
-			if err != nil {
-				return nil, err
+			if pke != nil {
+				kbuf, ok = pke.keyInto(kbuf, i)
+			} else {
+				kbuf, ok, err = evalKeysInto(kbuf, pctx, probe, probeKeys, probeKeysC)
+				if err != nil {
+					return nil, err
+				}
 			}
 			matched := false
 			if ok {

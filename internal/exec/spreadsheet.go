@@ -28,12 +28,15 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		}
 	}
 	var inRows []types.Row
+	var inCols *core.ColSource
 	if prebuilt == nil {
 		in, err := ex.Execute(n.Input, outer)
 		if err != nil {
 			return nil, err
 		}
 		inRows = in.Rows
+		// Only the leading PBY+DBY ordinals are key-encoded by the build.
+		inCols = ex.vecColSource(in, n.Model.NPby+n.Model.NDby)
 	}
 	for i, rp := range n.RefPlans {
 		res, err := ex.Execute(rp, outer)
@@ -110,6 +113,7 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		DisableRangeProbe:   ex.Opts.DisableRangeProbe,
 		UseBTreeIndex:       ex.Opts.UseBTreeIndex,
 		DisableCompiledEval: ex.Opts.DisableCompiledEval,
+		Cols:                inCols,
 		Prebuilt:            prebuilt,
 		OnBuilt:             onBuilt,
 	})

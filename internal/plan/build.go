@@ -29,6 +29,9 @@ func Build(cat *catalog.Catalog, stmt *sqlast.SelectStmt, opts *Options) (Node, 
 	if !opts.DisableCompiledEval {
 		compilePlan(n, map[Node]bool{})
 	}
+	if !opts.DisableVectorizedExec {
+		vectorizePlan(n, map[Node]bool{})
+	}
 	return n, nil
 }
 

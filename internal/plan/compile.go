@@ -72,6 +72,29 @@ func compilePlan(n Node, visited map[Node]bool) {
 	}
 }
 
+// vectorizePlan attaches vectorized selection kernels to the plan's filter
+// sites. Best-effort like compilePlan: expressions without a kernel form
+// leave the slot invalid and the executor keeps the per-row closure path.
+// Kernel compilation is a pure function of the expression and schema, so
+// EXPLAIN's vectorized= annotations stay machine-independent.
+func vectorizePlan(n Node, visited map[Node]bool) {
+	if n == nil || visited[n] {
+		return
+	}
+	visited[n] = true
+	switch x := n.(type) {
+	case *Scan:
+		x.FilterK = eval.CompileSelKernel(x.Schema(), x.Filter)
+	case *CTERef:
+		vectorizePlan(x.Def.Plan, visited)
+	case *Filter:
+		x.CondK = eval.CompileSelKernel(x.Input.Schema(), x.Cond)
+	}
+	for _, ch := range n.Children() {
+		vectorizePlan(ch, visited)
+	}
+}
+
 func compileExpr(env *eval.BoundSchema, e sqlast.Expr) eval.CompiledExpr {
 	ce, err := eval.Compile(env, e)
 	if err != nil {

@@ -25,7 +25,7 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 			fmt.Fprintf(b, " as %s", x.Alias)
 		}
 		if x.Filter != nil {
-			fmt.Fprintf(b, " filter=%s compiled=%s", x.Filter, yesNo(x.FilterC.Valid()))
+			fmt.Fprintf(b, " filter=%s compiled=%s vectorized=%s", x.Filter, yesNo(x.FilterC.Valid()), yesNo(x.FilterK.Valid()))
 		}
 		b.WriteByte('\n')
 	case *CTERef:
@@ -36,7 +36,7 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		b.WriteByte('\n')
 		explainNode(b, x.Def.Plan, depth+1)
 	case *Filter:
-		fmt.Fprintf(b, "%sFilter %s compiled=%s\n", pad, x.Cond, yesNo(x.CondC.Valid()))
+		fmt.Fprintf(b, "%sFilter %s compiled=%s vectorized=%s\n", pad, x.Cond, yesNo(x.CondC.Valid()), yesNo(x.CondK.Valid()))
 		explainNode(b, x.Input, depth+1)
 	case *Project:
 		names := make([]string, len(x.Exprs))

@@ -25,6 +25,9 @@ type Scan struct {
 	Alias   string
 	Filter  sqlast.Expr // nil = none; conjuncts pushed by the optimizer
 	FilterC eval.CompiledExpr
+	// FilterK is the vectorized form of Filter (invalid = no kernel; the
+	// executor keeps the per-row closure path).
+	FilterK eval.SelKernel
 	schema  *eval.BoundSchema
 }
 
@@ -48,6 +51,9 @@ type Filter struct {
 	Input Node
 	Cond  sqlast.Expr
 	CondC eval.CompiledExpr
+	// CondK is the vectorized form of Cond, applied when the input result
+	// carries a columnar image.
+	CondK eval.SelKernel
 }
 
 // Project computes expressions over input rows.

@@ -89,4 +89,9 @@ type Options struct {
 	// actually take; see exec.Options.
 	DisableParallelBuild bool
 	DisableParallelSort  bool
+	// DisableVectorizedExec keeps scans, filters and key encoding on the
+	// row-at-a-time paths instead of columnar batch kernels (ablation knob;
+	// the two paths produce byte-identical results). The executor carries
+	// the same flag in exec.Options.
+	DisableVectorizedExec bool
 }
