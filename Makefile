@@ -42,7 +42,9 @@ lint-hotpath:
 		echo "route through compiled expressions or add an 'interp-ok: <reason>' comment"; \
 		exit 1; \
 	fi; \
-	bad=$$(grep -n '\.Value(\|types\.New[A-Z]' internal/eval/vector.go internal/exec/vector.go \
+	bad=$$(grep -n '\.Value(\|types\.New[A-Z]' internal/eval/vector.go internal/eval/exprvec.go \
+		internal/eval/aggbatch.go internal/exec/vector.go internal/exec/vecagg.go \
+		internal/exec/vecproject.go internal/core/vecscan.go \
 		| grep -v 'interp-ok:'); \
 	if [ -n "$$bad" ]; then \
 		echo "lint-hotpath: unannotated per-row boxing in vectorized kernels:"; \
@@ -98,21 +100,25 @@ bench-cache:
 # Data-movement benchmarks (parallel partition build, external merge sort,
 # spill-store throughput) swept across core counts. cmd/benchjson diffs the
 # run against the checked-in BENCH_storage.json baseline and rewrites it; drop
-# the rewrite by deleting `-out` if you only want the comparison.
+# the rewrite by deleting `-out` if you only want the comparison. -fail-over
+# exits nonzero (before rewriting the baseline) when any benchmark regresses
+# by more than 50% — wide enough to ride out container timing noise, tight
+# enough to catch a vectorized path silently falling back to the row engine.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelBuild$$|BenchmarkExternalSort|BenchmarkSpillThroughput' \
 		-cpu 1,4 -benchmem ./... | \
-	$(GO) run ./cmd/benchjson -diff BENCH_storage.json -out BENCH_storage.json \
+	$(GO) run ./cmd/benchjson -diff BENCH_storage.json -out BENCH_storage.json -fail-over 50 \
 		-command "make bench-compare" \
 		-note "data-movement baselines: partition build, external merge sort, spill throughput"
 
-# Vectorized cold-path benchmark: columnar selection kernels and key
-# encoders against the row-at-a-time compiled closures, ablated with
-# Config.DisableVectorizedExec (results are byte-identical either way — see
-# TestVectorized* in vector_test.go). cmd/benchjson diffs against the
-# checked-in BENCH_vector.json baseline and rewrites it.
+# Vectorized cold-path benchmark: columnar selection and compute kernels,
+# batch aggregation and key encoders against the row-at-a-time compiled
+# closures, ablated with Config.DisableVectorizedExec (results are
+# byte-identical either way — see TestVectorized* in vector_test.go).
+# cmd/benchjson diffs against the checked-in BENCH_vector.json baseline and
+# rewrites it.
 bench-vector:
-	$(GO) test -run '^$$' -bench 'BenchmarkColdScanFilter|BenchmarkColdGroupBy' -benchmem . | \
+	$(GO) test -run '^$$' -bench 'BenchmarkColdScanFilter|BenchmarkColdGroupBy|BenchmarkColdProjection|BenchmarkColdAgg|BenchmarkColdJoinGroupBy' -benchmem . | \
 	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json \
 		-command "make bench-vector" \
 		-note "cold-path vectorization: columnar kernels vs row-at-a-time closures (DisableVectorizedExec ablation)"

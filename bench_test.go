@@ -411,6 +411,69 @@ func BenchmarkColdGroupBy(b *testing.B) {
 	}
 }
 
+// BenchmarkColdProjection measures the batch compute kernels on the project
+// path: every output expression (arithmetic and string concatenation) is
+// evaluated as whole output vectors per morsel in the vectorized leg, versus
+// the per-row compiled closure loop.
+func BenchmarkColdProjection(b *testing.B) {
+	q := `SELECT s * 1.15 + t * 0.5, s - t / 4.0, s * s, r || '/' || p FROM ef WHERE t > 1984`
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"vectorized", false}, {"interpreted", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			db := coldBenchDB(b, v.disable)
+			runQuery(b, db, q)
+		})
+	}
+}
+
+// BenchmarkColdAgg measures batch aggregation with computed arguments: the
+// vectorized leg runs one compute kernel per argument and bulk-feeds the
+// batch accumulators by group id, versus per-row closure evaluation plus
+// interface-dispatched Adds.
+func BenchmarkColdAgg(b *testing.B) {
+	q := `SELECT r, SUM(s * 1.1 + t), AVG(s - 100.0), COUNT(t), MIN(s), MAX(s * 2.0) FROM ef GROUP BY r`
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"vectorized", false}, {"interpreted", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			db := coldBenchDB(b, v.disable)
+			runQuery(b, db, q)
+		})
+	}
+}
+
+// BenchmarkColdJoinGroupBy measures columnar provenance carried through the
+// hash join: the join output gathers both sides' image columns, so the
+// post-join group-by still encodes keys from vectors and aggregates through
+// batch kernels in the vectorized leg.
+func BenchmarkColdJoinGroupBy(b *testing.B) {
+	q := `SELECT d.cat, SUM(f.s), COUNT(*) FROM ef f JOIN pd d ON f.p = d.p WHERE f.t > 1984 GROUP BY d.cat`
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"vectorized", false}, {"interpreted", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			db := coldBenchDB(b, v.disable)
+			db.MustExec(`CREATE TABLE pd (p TEXT, cat TEXT)`)
+			cats := map[string]string{
+				"dvd": "media", "vcr": "media", "tape": "media", "disk": "media",
+				"tv": "display", "video": "display", "dslr": "optics", "amp": "audio",
+			}
+			var rows [][]any
+			for _, p := range []string{"dvd", "vcr", "tv", "video", "dslr", "disk", "amp", "tape"} {
+				rows = append(rows, []any{p, cats[p]})
+			}
+			if err := db.Insert("pd", rows...); err != nil {
+				b.Fatal(err)
+			}
+			runQuery(b, db, q)
+		})
+	}
+}
+
 // probeBenchDB builds a table whose (r, p, t) keys are unique: 4 regions x
 // 32 products x 106 periods, one row per cell, so spreadsheet rules address
 // individual cells.

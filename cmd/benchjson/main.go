@@ -54,6 +54,7 @@ func main() {
 	diff := flag.String("diff", "", "compare parsed results against this baseline JSON file")
 	command := flag.String("command", "", "command string recorded in the JSON")
 	note := flag.String("note", "", "host note recorded in the JSON")
+	failOver := flag.Float64("fail-over", 0, "exit nonzero when any benchmark regresses more than this percentage vs the -diff baseline (0 disables)")
 	flag.Parse()
 
 	rec := record{Recorded: time.Now().UTC().Format("2006-01-02"), Command: *command}
@@ -107,10 +108,19 @@ func main() {
 		fatal(fmt.Errorf("no benchmark results on stdin"))
 	}
 
+	var regressions []string
 	if *diff != "" {
-		if err := diffBaseline(*diff, rec.Results); err != nil {
+		var err error
+		regressions, err = diffBaseline(*diff, rec.Results, *failOver)
+		if err != nil {
 			fatal(err)
 		}
+	}
+	// Regression gating happens before the baseline rewrite: a failing run
+	// must not replace the baseline it just regressed against.
+	if *failOver > 0 && len(regressions) > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline:\n  %s",
+			len(regressions), *failOver, strings.Join(regressions, "\n  ")))
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(&rec, "", "  ")
@@ -131,15 +141,19 @@ func main() {
 // and baseline entries absent from this run as (gone), so adding or retiring
 // a benchmark never breaks the comparison, but silent set changes are still
 // visible in the diff output.
-func diffBaseline(path string, cur []result) error {
+//
+// failOver > 0 additionally collects every common benchmark whose ns/op grew
+// by more than that percentage; the returned list drives -fail-over's
+// nonzero exit. New and gone benchmarks never count as regressions.
+func diffBaseline(path string, cur []result, failOver float64) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline at %s (skipping diff)\n", path)
-		return nil
+		return nil, nil
 	}
 	var base record
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parse baseline %s: %v", path, err)
+		return nil, fmt.Errorf("parse baseline %s: %v", path, err)
 	}
 	key := func(r result) string { return fmt.Sprintf("%s@%d", r.Name, r.CPU) }
 	old := make(map[string]result, len(base.Results))
@@ -147,6 +161,7 @@ func diffBaseline(path string, cur []result) error {
 		old[key(r)] = r
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (recorded %s)\n", path, base.Recorded)
+	var regressions []string
 	seen := make(map[string]bool, len(cur))
 	for _, r := range cur {
 		seen[key(r)] = true
@@ -168,6 +183,10 @@ func diffBaseline(path string, cur []result) error {
 		}
 		fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12d -> %12d ns/op  (%.2fx)%s\n",
 			r.Name, r.CPU, b.NsOp, r.NsOp, ratio, tag)
+		if failOver > 0 && ratio > 1+failOver/100 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s -cpu %d: %d -> %d ns/op (%.2fx)", r.Name, r.CPU, b.NsOp, r.NsOp, ratio))
+		}
 	}
 	for _, r := range base.Results {
 		if !seen[key(r)] {
@@ -175,7 +194,7 @@ func diffBaseline(path string, cur []result) error {
 				r.Name, r.CPU, r.NsOp, "-")
 		}
 	}
-	return nil
+	return regressions, nil
 }
 
 func fatal(err error) {

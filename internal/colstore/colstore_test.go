@@ -153,6 +153,28 @@ func TestAppendKeyMatchesTypes(t *testing.T) {
 			}
 		}
 	}
+	// Dictionary overflow: past DictMaxEntries the builder switches to plain
+	// string storage mid-column; key encoding must not change across the
+	// representation boundary.
+	over := make([]types.Value, 0, 2*(DictMaxEntries+500))
+	for i := 0; i < DictMaxEntries+500; i++ {
+		over = append(over, types.NewString(fmt.Sprintf("u%d", i))) // distinct
+		if rng.Intn(13) == 0 {
+			over = append(over, types.Null)
+		}
+		if rng.Intn(3) == 0 {
+			over = append(over, types.NewString(fmt.Sprintf("hot%d", rng.Intn(7)))) // repeats
+		}
+	}
+	oc := colFromValues(t, over)
+	if oc.IsDict() {
+		t.Fatalf("expected dict overflow at %d distinct strings", len(over))
+	}
+	for i, v := range over {
+		if got, want := oc.AppendKey(nil, i), types.AppendKey(nil, v); !bytes.Equal(got, want) {
+			t.Fatalf("overflow row %d (%v): key %x want %x", i, v, got, want)
+		}
+	}
 }
 
 // TestDictOverflow: a string column whose cardinality exceeds DictMaxEntries

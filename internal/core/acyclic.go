@@ -104,8 +104,13 @@ func (fe *frameEval) runRules(idxs []int) error {
 }
 
 // scanFeed performs one partition scan, feeding every matching row to every
-// instance.
+// instance. When every instance has a vectorized form the scan runs as batch
+// kernels over a columnar snapshot instead (see vecscan.go) — same state,
+// bit for bit.
 func (fe *frameEval) scanFeed(insts []*aggInstance) error {
+	if handled, err := fe.vecScanFeed(insts); handled {
+		return err
+	}
 	var ferr error
 	fe.f.Each(func(pos int, row types.Row) bool {
 		if ferr = fe.tick(); ferr != nil {

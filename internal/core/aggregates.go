@@ -27,6 +27,11 @@ type aggInstance struct {
 
 	// matchers holds one per-dimension row test (scan mode).
 	matchers []func(row types.Row) (bool, error)
+	// vq mirrors matchers declaratively (qual kind plus the constants the
+	// closures capture) so the batch partition scan can evaluate the same
+	// tests over a columnar image; vqOpaque marks a dimension only the
+	// closure can test (predicates), keeping the instance on the row scan.
+	vq []vecQual
 	// lists holds per-dimension candidate values; probe mode requires all.
 	lists [][]types.Value
 	probe bool
@@ -60,6 +65,7 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 	}
 	m := fe.m
 	inst.matchers = make([]func(types.Row) (bool, error), m.NDby)
+	inst.vq = make([]vecQual, m.NDby)
 	inst.lists = make([][]types.Value, m.NDby)
 	allEnumerable := true
 	for i := 0; i < m.NDby; i++ {
@@ -72,11 +78,13 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 				return nil, err
 			}
 			inst.lists[i] = []types.Value{v}
+			inst.vq[i] = vecQual{kind: vqPoint, val: v}
 			inst.matchers[i] = func(row types.Row) (bool, error) {
 				return types.Equal(row[col], v), nil
 			}
 		case sqlast.QualStar:
 			allEnumerable = false
+			inst.vq[i] = vecQual{kind: vqStar}
 			inst.matchers[i] = func(types.Row) (bool, error) { return true, nil }
 		case sqlast.QualRange:
 			lo, err := fe.eval(ctx, q.Lo)
@@ -88,6 +96,7 @@ func (fe *frameEval) buildInstance(ctx *eval.Context, a *sqlast.CellAgg) (*aggIn
 				return nil, err
 			}
 			loIncl, hiIncl := q.LoIncl, q.HiIncl
+			inst.vq[i] = vecQual{kind: vqRange, lo: lo, hi: hi, loIncl: loIncl, hiIncl: hiIncl}
 			inst.matchers[i] = func(row types.Row) (bool, error) {
 				v := row[col]
 				if v.IsNull() || lo.IsNull() || hi.IsNull() {

@@ -54,6 +54,11 @@ type RunOptions struct {
 	// DisableCompiledEval routes formula evaluation through the tree-walking
 	// interpreter instead of compiled closures (ablation knob).
 	DisableCompiledEval bool
+	// DisableVectorizedScan keeps aggregate partition scans on the row-at-a-
+	// time matcher/closure path instead of the batch columnar scan (see
+	// vecscan.go); the executor wires its DisableVectorizedExec here so one
+	// ablation flag covers both engines.
+	DisableVectorizedScan bool
 	// Cols, when non-nil, supplies columnar vectors for the working
 	// relation's key columns; the partition build encodes PBY/DBY keys
 	// from them instead of boxed row values (byte-identical either way).

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sqlsheet/internal/colstore"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/types"
+)
+
+// Batch partition scan: scanFeed's per-row loop — match every row against
+// every scan-mode aggregate instance, then evaluate the instance's argument
+// expressions through compiled closures — is replaced, when every instance
+// has a vectorized form, by one pass that snapshots the partition into a
+// columnar image (colstore.Builder) and then, per instance:
+//
+//  1. builds a selection of matching image rows from the instance's
+//     declarative qualifier descriptors (the same types.Equal / NULL-
+//     rejecting types.Compare tests the closure matchers run, evaluated on
+//     values read back from the image — which holds the same bits);
+//  2. runs one compute kernel per aggregate argument over the selection
+//     (eval.CompileExprKernel — the same kernels the executor's projection
+//     and group-by use);
+//  3. bulk-feeds the argument vectors into a single-group batch accumulator
+//     (eval.AggBatch) and unboxes it into the instance's ordinary Agg, so
+//     result finalization and single-scan inverse maintenance run unchanged.
+//
+// Rows feed in insertion order, so accumulator state — float addition order
+// included — is bit-identical to the row scan's. The decision is
+// all-or-nothing over the instance list: one predicate qualifier, cv()-
+// bearing argument or batchless aggregate keeps the whole scan on the row
+// path, and on the kernel domain the only runtime error is division by
+// zero, raised with the row path's exact message. RunOptions.
+// DisableVectorizedScan (wired from the executor's DisableVectorizedExec)
+// ablates the layer.
+
+// vecScanMinRows keeps tiny partitions on the row path: building the
+// columnar image costs one extra pass over the rows, which only pays off
+// once the kernel loops have enough rows to amortize it.
+const vecScanMinRows = 64
+
+// vecQual kinds. vqOpaque is the zero value: a dimension only the closure
+// matcher can test.
+const (
+	vqOpaque = iota
+	vqStar
+	vqPoint
+	vqRange
+)
+
+// vecQual is the declarative form of one dimension qualifier: the kind plus
+// the constants the closure matcher captured at instance-build time.
+type vecQual struct {
+	kind           int
+	val            types.Value // vqPoint
+	lo, hi         types.Value // vqRange
+	loIncl, hiIncl bool
+}
+
+// vecScanFeed is the batch form of scanFeed. handled=false means no
+// instance state was touched and the caller must run the row scan;
+// handled=true means every instance's accumulator holds the scan's result
+// (or err aborted the statement). Instances arrive freshly built with empty
+// accumulators (scanFeed's contract), so replacing inst.acc with the
+// unboxed batch state is exact.
+func (fe *frameEval) vecScanFeed(insts []*aggInstance) (bool, error) {
+	if fe.opts.DisableVectorizedScan || fe.trackRefs || fe.m.IgnoreNav || fe.f.Len() < vecScanMinRows {
+		return false, nil
+	}
+	kerns := make([][]eval.ExprKernel, len(insts))
+	for i, inst := range insts {
+		for _, q := range inst.vq {
+			if q.kind == vqOpaque {
+				return false, nil
+			}
+		}
+		if inst.star {
+			continue
+		}
+		ks := make([]eval.ExprKernel, len(inst.args))
+		for j, a := range inst.args {
+			// Arguments reading cv(), cells or subqueries have no kernel,
+			// so their row-path evaluation order (and errors) are preserved.
+			k := eval.CompileExprKernel(fe.bs, a)
+			if !k.Valid() {
+				return false, nil
+			}
+			ks[j] = k
+		}
+		kerns[i] = ks
+	}
+	img, err := fe.frameImage()
+	if err != nil {
+		return true, err
+	}
+	// Argument vector kinds are a property of the image; resolve them and
+	// every batch accumulator before touching any instance, so a late
+	// fallback leaves all accumulators untouched for the row scan.
+	states := make([]eval.AggBatch, len(insts))
+	for i, inst := range insts {
+		var kinds []types.Kind
+		if !inst.star {
+			kinds = make([]types.Kind, len(kerns[i]))
+			for j, k := range kerns[i] {
+				kind, ok := k.OutKind(img, nil)
+				if !ok || k.MinCols() > len(img.Cols) {
+					return false, nil
+				}
+				kinds[j] = kind
+			}
+		}
+		st, ok := eval.NewAggBatch(inst.node.Func, inst.star, kinds)
+		if !ok {
+			return false, nil
+		}
+		states[i] = st
+	}
+	n := img.NRows
+	selBuf := colstore.GetSel(n)
+	defer colstore.PutSel(selBuf)
+	zeros := make([]int32, n) // group-id vector: every selected row feeds group 0
+	for i, inst := range insts {
+		sel := fe.vecMatchSel(img, inst, (*selBuf)[:0])
+		*selBuf = sel[:0]
+		st := states[i]
+		st.Grow(1)
+		gids := zeros[:len(sel)]
+		if inst.star {
+			st.Feed(gids, nil)
+		} else {
+			vecs := make([]*eval.ExprVec, len(kerns[i]))
+			for j := range kerns[i] {
+				v, kerr := kerns[i][j].Run(img, nil, nil, sel)
+				if kerr != nil {
+					return true, kerr
+				}
+				vecs[j] = v
+			}
+			st.Feed(gids, vecs)
+		}
+		inst.acc = st.Unbox(0)
+	}
+	return true, nil
+}
+
+// frameImage snapshots the partition's current rows into a columnar image in
+// one scan, ticking per row exactly like the row scan it replaces.
+func (fe *frameEval) frameImage() (*colstore.Table, error) {
+	b := colstore.NewBuilder(fe.m.Schema.Len())
+	var ferr error
+	fe.f.Each(func(pos int, row types.Row) bool {
+		if ferr = fe.tick(); ferr != nil {
+			return false
+		}
+		b.Append(row)
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return b.Build(), nil
+}
+
+// vecMatchSel appends the image rows matching inst's dimension qualifiers to
+// sel, positions ascending. The tests are the scan matchers' own — types.
+// Equal for points, the NULL-rejecting types.Compare interval test for
+// ranges — evaluated on values read back from the image, which hold the same
+// bits the row scan saw; matching is therefore exact, including NULL = NULL
+// points, NaN bounds and cross-kind numeric comparisons.
+func (fe *frameEval) vecMatchSel(img *colstore.Table, inst *aggInstance, sel []int32) []int32 {
+	n := img.NRows
+	npby := fe.m.NPby
+outer:
+	for r := 0; r < n; r++ {
+		for di := range inst.vq {
+			q := &inst.vq[di]
+			if q.kind == vqStar {
+				continue
+			}
+			v := img.Cols[npby+di].Value(r) // interp-ok: dimension qualifier test reuses the row matcher's Equal/Compare verbatim
+			switch q.kind {
+			case vqPoint:
+				if !types.Equal(v, q.val) {
+					continue outer
+				}
+			case vqRange:
+				if v.IsNull() || q.lo.IsNull() || q.hi.IsNull() {
+					continue outer
+				}
+				cl := types.Compare(v, q.lo)
+				if cl < 0 || (cl == 0 && !q.loIncl) {
+					continue outer
+				}
+				ch := types.Compare(v, q.hi)
+				if ch > 0 || (ch == 0 && !q.hiIncl) {
+					continue outer
+				}
+			}
+		}
+		sel = append(sel, int32(r))
+	}
+	return sel
+}

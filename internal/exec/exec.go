@@ -413,6 +413,12 @@ func (ex *Executor) execProject(n *plan.Project, outer *eval.Binding) (*Result, 
 			return res, nil
 		}
 	}
+	// Batch path: every output expression has a supported compute kernel, so
+	// whole output vectors are computed per morsel and the result publishes a
+	// fresh columnar image (see vecproject.go).
+	if res, err, ok := ex.execProjectVec(n, in); ok {
+		return res, err
+	}
 	projectMorsel := func(ctx *eval.Context, rows []types.Row, m morsel) error {
 		for i := m.Lo; i < m.Hi; i++ {
 			ctx.Binding.Row = in.Rows[i]

@@ -166,10 +166,19 @@ func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, 
 	}
 
 	ke := ex.vecKeyEnc(in, n.Keys)
+	vp := ex.vecGroupPlan(n, in, ke)
 	if nm := ex.morselCount(len(in.Rows)); nm > 0 && groupByParallelizable(n) {
 		partials := make([]*groupAcc, nm)
 		wc := ex.workerCtxs(in.Schema, outer)
 		if _, err := ex.forEachMorsel("group-by", len(in.Rows), func(w int, m morsel) error {
+			if vp != nil {
+				acc, err := vp.accumulate(in, ke, m.Lo, m.Hi)
+				if err != nil {
+					return err
+				}
+				partials[m.Idx] = acc
+				return nil
+			}
 			acc := newGroupAcc()
 			if err := acc.addRows(n, wc.get(w), in, ke, m.Lo, m.Hi); err != nil {
 				return err
@@ -204,10 +213,18 @@ func (ex *Executor) execGroupBy(n *plan.GroupBy, outer *eval.Binding) (*Result, 
 		return &Result{Schema: n.Schema(), Rows: rows}, nil
 	}
 
-	acc := newGroupAcc()
-	ctx := ex.ctx(in.Schema, nil, outer)
-	if err := acc.addRows(n, ctx, in, ke, 0, len(in.Rows)); err != nil {
-		return nil, err
+	var acc *groupAcc
+	if vp != nil {
+		var err error
+		if acc, err = vp.accumulate(in, ke, 0, len(in.Rows)); err != nil {
+			return nil, err
+		}
+	} else {
+		acc = newGroupAcc()
+		ctx := ex.ctx(in.Schema, nil, outer)
+		if err := acc.addRows(n, ctx, in, ke, 0, len(in.Rows)); err != nil {
+			return nil, err
+		}
 	}
 	rows, err := acc.rows(n)
 	if err != nil {

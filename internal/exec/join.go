@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/eval"
 	"sqlsheet/internal/plan"
 	"sqlsheet/internal/sqlast"
@@ -193,14 +194,37 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	nullSide := func(w int) types.Row { return make(types.Row, w) }
 	preserve := n.Type == sqlast.JoinLeft || n.Type == sqlast.JoinRight
 
+	// carry: when both sides arrive with columnar provenance covering every
+	// schema column, each emitted row also records its (probe image row,
+	// build image row | -1) pair, and the output gathers both sides' columns
+	// into a fresh image — so post-join filters, projections and group-bys
+	// stay on the vectorized path instead of re-boxing. The boxed rows are
+	// built exactly as before; the image is provenance over the same values
+	// (colstore.Gather is bit-exact, with -1 yielding the NULL slots the
+	// null-extended side's zero values already hold).
+	carry := !ex.Opts.DisableVectorizedExec &&
+		vecOK(probeRes) && vecOK(buildRes) && vecCovers(probeRes) && vecCovers(buildRes)
+
 	// probeMorsel probes one row range against the (now read-only) table.
 	// Each probe row's matches arrive in ascending build-row order, and
 	// outer-join preservation is decided per probe row, so per-morsel
 	// outputs stitched in morsel order equal the serial output exactly.
 	pke := ex.vecKeyEnc(probeRes, probeKeys)
-	probeMorsel := func(pctx, cctx *eval.Context, m morsel) ([]types.Row, error) {
-		var out []types.Row
+	type probeOut struct {
+		rows []types.Row
+		pidx []int32 // probe-side image row per output row (carry only)
+		bidx []int32 // build-side image row, -1 = null-extended (carry only)
+	}
+	probeMorsel := func(pctx, cctx *eval.Context, m morsel) (probeOut, error) {
+		var out probeOut
 		var kbuf []byte
+		emit := func(row types.Row, pi int, bi int32) {
+			out.rows = append(out.rows, row)
+			if carry {
+				out.pidx = append(out.pidx, resImgRow(probeRes, pi))
+				out.bidx = append(out.bidx, bi)
+			}
+		}
 		for i := m.Lo; i < m.Hi; i++ {
 			probe := probeRes.Rows[i]
 			var ok bool
@@ -210,7 +234,7 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 			} else {
 				kbuf, ok, err = evalKeysInto(kbuf, pctx, probe, probeKeys, probeKeysC)
 				if err != nil {
-					return nil, err
+					return out, err
 				}
 			}
 			matched := false
@@ -221,30 +245,70 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 						cctx.Binding.Row = row
 						pass, err := evalBoolC(cctx, n.ResidualC, n.Residual)
 						if err != nil {
-							return nil, err
+							return out, err
 						}
 						if !pass {
 							continue
 						}
 					}
 					matched = true
-					out = append(out, row)
+					emit(row, i, resImgRow(buildRes, bi))
 				}
 			}
 			if !matched && preserve {
 				if probeIsLeft {
-					out = append(out, combine(probe, nullSide(rw)))
+					emit(combine(probe, nullSide(rw)), i, -1)
 				} else {
-					out = append(out, combine(probe, nullSide(lw)))
+					emit(combine(probe, nullSide(lw)), i, -1)
 				}
 			}
 		}
 		return out, nil
 	}
 
+	// joinResult assembles the output from morsel-ordered parts, gathering
+	// the provenance image when carry is on.
+	joinResult := func(parts []probeOut) *Result {
+		total := 0
+		for _, p := range parts {
+			total += len(p.rows)
+		}
+		var rows []types.Row
+		if total > 0 {
+			rows = make([]types.Row, 0, total)
+			for _, p := range parts {
+				rows = append(rows, p.rows...)
+			}
+		}
+		res := &Result{Schema: combined, Rows: rows}
+		if !carry {
+			return res
+		}
+		pidx := make([]int32, 0, total)
+		bidx := make([]int32, 0, total)
+		for _, p := range parts {
+			pidx = append(pidx, p.pidx...)
+			bidx = append(bidx, p.bidx...)
+		}
+		pw, bw := len(probeRes.Schema.Cols), len(buildRes.Schema.Cols)
+		poff, boff := 0, pw
+		if !probeIsLeft {
+			poff, boff = bw, 0
+		}
+		img := &colstore.Table{NRows: total, Cols: make([]*colstore.Column, pw+bw), Rows: rows}
+		for j := 0; j < pw; j++ {
+			img.Cols[poff+j] = colstore.Gather(vecCol(probeRes, j), pidx)
+		}
+		for j := 0; j < bw; j++ {
+			img.Cols[boff+j] = colstore.Gather(vecCol(buildRes, j), bidx)
+		}
+		res.Img = img
+		return res
+	}
+
 	nm := ex.morselCount(len(probeRes.Rows))
 	if nm > 0 && !anyHasSubquery(probeKeys) && !sqlast.HasSubquery(n.Residual) {
-		parts := make([][]types.Row, nm)
+		parts := make([]probeOut, nm)
 		pwc := ex.workerCtxs(probeRes.Schema, outer)
 		cwc := ex.workerCtxs(combined, outer)
 		if _, err := ex.forEachMorsel("join-probe", len(probeRes.Rows), func(w int, m morsel) error {
@@ -257,7 +321,7 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 		}); err != nil {
 			return nil, err
 		}
-		return &Result{Schema: combined, Rows: stitch(parts)}, nil
+		return joinResult(parts), nil
 	}
 
 	pctx := ex.ctx(probeRes.Schema, nil, outer)
@@ -266,7 +330,7 @@ func (ex *Executor) hashJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: combined, Rows: out}, nil
+	return joinResult([]probeOut{out}), nil
 }
 
 func (ex *Executor) nestedLoopJoin(n *plan.Join, l, r *Result, outer *eval.Binding) (*Result, error) {

@@ -102,20 +102,21 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 	}
 	start := time.Now()
 	rows, stats, err := n.Model.Run(inRows, core.RunOptions{
-		Ctx:                 ex.Opts.Ctx,
-		Parallel:            par,
-		BuildWorkers:        bw,
-		Buckets:             buckets,
-		NewStore:            newStore,
-		Subquery:            &runner{ex: ex},
-		Promoted:            n.Promoted,
-		DisableSingleScan:   ex.Opts.DisableSingleScan,
-		DisableRangeProbe:   ex.Opts.DisableRangeProbe,
-		UseBTreeIndex:       ex.Opts.UseBTreeIndex,
-		DisableCompiledEval: ex.Opts.DisableCompiledEval,
-		Cols:                inCols,
-		Prebuilt:            prebuilt,
-		OnBuilt:             onBuilt,
+		Ctx:                   ex.Opts.Ctx,
+		Parallel:              par,
+		BuildWorkers:          bw,
+		Buckets:               buckets,
+		NewStore:              newStore,
+		Subquery:              &runner{ex: ex},
+		Promoted:              n.Promoted,
+		DisableSingleScan:     ex.Opts.DisableSingleScan,
+		DisableRangeProbe:     ex.Opts.DisableRangeProbe,
+		UseBTreeIndex:         ex.Opts.UseBTreeIndex,
+		DisableCompiledEval:   ex.Opts.DisableCompiledEval,
+		DisableVectorizedScan: ex.Opts.DisableVectorizedExec,
+		Cols:                  inCols,
+		Prebuilt:              prebuilt,
+		OnBuilt:               onBuilt,
 	})
 	ex.bud.release(granted)
 	if prebuilt != nil {

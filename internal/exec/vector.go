@@ -62,6 +62,30 @@ func vecRunnable(r *Result, k eval.SelKernel) bool {
 	return k.Valid() && vecOK(r) && k.MinCols() <= vecWidth(r)
 }
 
+// vecCovers reports whether r's provenance serves every schema column (the
+// hash join gathers all of them into its output image).
+func vecCovers(r *Result) bool {
+	n := len(r.Schema.Cols)
+	if vecWidth(r) < n {
+		return false
+	}
+	for j := 0; j < n; j++ {
+		if vecCol(r, j) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// resImgRow maps result position i to its image row (identity when RowIdx
+// is nil).
+func resImgRow(r *Result, i int) int32 {
+	if r.RowIdx != nil {
+		return r.RowIdx[i]
+	}
+	return int32(i)
+}
+
 // execScanVec is the vectorized table scan: an unfiltered scan publishes
 // the table's columnar image as identity provenance; a filtered scan with a
 // kernel runs it morsel-parallel. ok=false keeps the row path.

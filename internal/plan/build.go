@@ -29,9 +29,9 @@ func Build(cat *catalog.Catalog, stmt *sqlast.SelectStmt, opts *Options) (Node, 
 	if !opts.DisableCompiledEval {
 		compilePlan(n, map[Node]bool{})
 	}
-	if !opts.DisableVectorizedExec {
-		vectorizePlan(n, map[Node]bool{})
-	}
+	// Runs even when vectorized execution is disabled: the pass then only
+	// records vectorized=no(disabled) notes for EXPLAIN, attaching no kernels.
+	vectorizePlan(n, map[Node]bool{}, opts.DisableVectorizedExec)
 	return n, nil
 }
 

@@ -72,27 +72,118 @@ func compilePlan(n Node, visited map[Node]bool) {
 	}
 }
 
-// vectorizePlan attaches vectorized selection kernels to the plan's filter
-// sites. Best-effort like compilePlan: expressions without a kernel form
-// leave the slot invalid and the executor keeps the per-row closure path.
-// Kernel compilation is a pure function of the expression and schema, so
-// EXPLAIN's vectorized= annotations stay machine-independent.
-func vectorizePlan(n Node, visited map[Node]bool) {
+// Fallback reasons for EXPLAIN's vectorized= annotation. Recorded even when
+// vectorized execution is disabled, so ablation runs show why (or that)
+// every node is on the row path without a debugger.
+const (
+	vecYes             = "yes"
+	vecNoDisabled      = "no(disabled)"
+	vecNoUnsupported   = "no(unsupported-expr)"
+	vecNoNonColumnKeys = "no(non-column-keys)"
+	vecNoNestedLoop    = "no(nested-loop)"
+)
+
+// vectorizePlan attaches vectorized selection and compute kernels to the
+// plan's filter, projection and aggregation sites, and records each node's
+// vectorized= note. Best-effort like compilePlan: expressions without a
+// kernel form leave the slot invalid and the executor keeps the per-row
+// closure path. Kernel compilation is a pure function of the expression and
+// schema, so EXPLAIN's annotations stay machine-independent; the executor
+// may still fall back at run time when a column's representation (mixed-kind
+// boxed values, string operands under arithmetic) has no typed vector.
+func vectorizePlan(n Node, visited map[Node]bool, disabled bool) {
 	if n == nil || visited[n] {
 		return
 	}
 	visited[n] = true
 	switch x := n.(type) {
 	case *Scan:
-		x.FilterK = eval.CompileSelKernel(x.Schema(), x.Filter)
+		if x.Filter != nil {
+			if disabled {
+				x.VecNote = vecNoDisabled
+			} else {
+				x.FilterK = eval.CompileSelKernel(x.Schema(), x.Filter)
+				x.VecNote = kernelNote(x.FilterK.Valid())
+			}
+		}
 	case *CTERef:
-		vectorizePlan(x.Def.Plan, visited)
+		vectorizePlan(x.Def.Plan, visited, disabled)
 	case *Filter:
-		x.CondK = eval.CompileSelKernel(x.Input.Schema(), x.Cond)
+		if disabled {
+			x.VecNote = vecNoDisabled
+		} else {
+			x.CondK = eval.CompileSelKernel(x.Input.Schema(), x.Cond)
+			x.VecNote = kernelNote(x.CondK.Valid())
+		}
+	case *Project:
+		if disabled {
+			x.VecNote = vecNoDisabled
+			break
+		}
+		env := x.Input.Schema()
+		x.ExprsK = make([]eval.ExprKernel, len(x.Exprs))
+		ok := true
+		for i, e := range x.Exprs {
+			x.ExprsK[i] = eval.CompileExprKernel(env, e)
+			if !x.ExprsK[i].Valid() {
+				ok = false
+			}
+		}
+		x.VecNote = kernelNote(ok)
+	case *GroupBy:
+		if disabled {
+			x.VecNote = vecNoDisabled
+			break
+		}
+		env := x.Input.Schema()
+		x.ArgK = make([][]eval.ExprKernel, len(x.Aggs))
+		argsOK := true
+		for i, spec := range x.Aggs {
+			if spec.Call.Star {
+				continue
+			}
+			x.ArgK[i] = make([]eval.ExprKernel, len(spec.Call.Args))
+			for j, a := range spec.Call.Args {
+				x.ArgK[i][j] = eval.CompileExprKernel(env, a)
+				if !x.ArgK[i][j].Valid() {
+					argsOK = false
+				}
+			}
+		}
+		keysOK := true
+		for _, k := range x.Keys {
+			if _, isCol := eval.PlainOrdinal(env, k); !isCol {
+				keysOK = false
+			}
+		}
+		switch {
+		case !keysOK:
+			x.VecNote = vecNoNonColumnKeys
+		case !argsOK:
+			x.VecNote = vecNoUnsupported
+		default:
+			x.VecNote = vecYes
+		}
+	case *Join:
+		switch {
+		case disabled:
+			x.VecNote = vecNoDisabled
+		case x.Method == JoinHash || (x.Method == JoinAuto && len(x.LeftKeys) > 0):
+			x.VecNote = vecYes
+		default:
+			x.VecNote = vecNoNestedLoop
+		}
 	}
 	for _, ch := range n.Children() {
-		vectorizePlan(ch, visited)
+		vectorizePlan(ch, visited, disabled)
 	}
+}
+
+func kernelNote(ok bool) string {
+	if ok {
+		return vecYes
+	}
+	return vecNoUnsupported
 }
 
 func compileExpr(env *eval.BoundSchema, e sqlast.Expr) eval.CompiledExpr {

@@ -25,7 +25,7 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 			fmt.Fprintf(b, " as %s", x.Alias)
 		}
 		if x.Filter != nil {
-			fmt.Fprintf(b, " filter=%s compiled=%s vectorized=%s", x.Filter, yesNo(x.FilterC.Valid()), yesNo(x.FilterK.Valid()))
+			fmt.Fprintf(b, " filter=%s compiled=%s vectorized=%s", x.Filter, yesNo(x.FilterC.Valid()), vecNote(x.VecNote, x.FilterK.Valid()))
 		}
 		b.WriteByte('\n')
 	case *CTERef:
@@ -36,15 +36,16 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		b.WriteByte('\n')
 		explainNode(b, x.Def.Plan, depth+1)
 	case *Filter:
-		fmt.Fprintf(b, "%sFilter %s compiled=%s vectorized=%s\n", pad, x.Cond, yesNo(x.CondC.Valid()), yesNo(x.CondK.Valid()))
+		fmt.Fprintf(b, "%sFilter %s compiled=%s vectorized=%s\n", pad, x.Cond, yesNo(x.CondC.Valid()), vecNote(x.VecNote, x.CondK.Valid()))
 		explainNode(b, x.Input, depth+1)
 	case *Project:
 		names := make([]string, len(x.Exprs))
 		for i, e := range x.Exprs {
 			names[i] = e.String()
 		}
-		fmt.Fprintf(b, "%sProject %s compiled=%s\n", pad,
-			strings.Join(names, ", "), yesNo(len(x.ExprsC) == len(x.Exprs) && allValid(x.ExprsC)))
+		fmt.Fprintf(b, "%sProject %s compiled=%s vectorized=%s\n", pad,
+			strings.Join(names, ", "), yesNo(len(x.ExprsC) == len(x.Exprs) && allValid(x.ExprsC)),
+			vecNote(x.VecNote, false))
 		explainNode(b, x.Input, depth+1)
 	case *Join:
 		fmt.Fprintf(b, "%s%s Join (%s)", pad, x.Type, x.Method)
@@ -65,6 +66,7 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 				(x.Residual == nil || x.ResidualC.Valid())
 			fmt.Fprintf(b, " compiled=%s", yesNo(joinCompiled))
 		}
+		fmt.Fprintf(b, " vectorized=%s", vecNote(x.VecNote, false))
 		b.WriteByte('\n')
 		explainNode(b, x.L, depth+1)
 		explainNode(b, x.R, depth+1)
@@ -77,9 +79,10 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		for i, a := range x.Aggs {
 			aggsS[i] = a.Call.String()
 		}
-		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s] compiled=%s\n", pad,
+		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s] compiled=%s vectorized=%s\n", pad,
 			strings.Join(keys, ", "), strings.Join(aggsS, ", "),
-			yesNo(len(x.KeysC) == len(x.Keys) && allValid(x.KeysC)))
+			yesNo(len(x.KeysC) == len(x.Keys) && allValid(x.KeysC)),
+			vecNote(x.VecNote, false))
 		explainNode(b, x.Input, depth+1)
 	case *Union:
 		all := ""
@@ -164,6 +167,16 @@ func yesNo(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// vecNote renders a node's vectorized= annotation. Plans built through
+// plan.Build always carry a note with the fallback reason; hand-built plans
+// (tests) fall back to plain yes/no from the kernel slot.
+func vecNote(note string, valid bool) string {
+	if note != "" {
+		return note
+	}
+	return yesNo(valid)
 }
 
 func allValid(cs []eval.CompiledExpr) bool {

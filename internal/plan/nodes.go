@@ -28,6 +28,11 @@ type Scan struct {
 	// FilterK is the vectorized form of Filter (invalid = no kernel; the
 	// executor keeps the per-row closure path).
 	FilterK eval.SelKernel
+	// VecNote is EXPLAIN's vectorized= annotation: "yes", or "no(reason)"
+	// explaining the fallback. Set at plan time from the expression shape;
+	// the executor may still fall back at run time on unsupported column
+	// representations.
+	VecNote string
 	schema  *eval.BoundSchema
 }
 
@@ -54,6 +59,8 @@ type Filter struct {
 	// CondK is the vectorized form of Cond, applied when the input result
 	// carries a columnar image.
 	CondK eval.SelKernel
+	// VecNote is EXPLAIN's vectorized= annotation ("yes" / "no(reason)").
+	VecNote string
 }
 
 // Project computes expressions over input rows.
@@ -61,7 +68,14 @@ type Project struct {
 	Input  Node
 	Exprs  []sqlast.Expr
 	ExprsC []eval.CompiledExpr
-	schema *eval.BoundSchema
+	// ExprsK holds the vectorized compute kernel per output expression
+	// (plain column references compile to gather kernels). The executor
+	// takes the batch path only when every slot is valid and supported over
+	// the input's actual column representations.
+	ExprsK []eval.ExprKernel
+	// VecNote is EXPLAIN's vectorized= annotation ("yes" / "no(reason)").
+	VecNote string
+	schema  *eval.BoundSchema
 }
 
 // JoinMethod selects the physical join algorithm.
@@ -97,7 +111,10 @@ type Join struct {
 	RightKeysC []eval.CompiledExpr
 	ResidualC  eval.CompiledExpr
 	Method     JoinMethod
-	schema     *eval.BoundSchema
+	// VecNote is EXPLAIN's vectorized= annotation: hash joins carry columnar
+	// provenance through their output ("yes"); nested loops re-box.
+	VecNote string
+	schema  *eval.BoundSchema
 }
 
 // AggSpec is one aggregate computed by GroupBy.
@@ -116,7 +133,14 @@ type GroupBy struct {
 	// extractors (AggArgsC[i] aligns with Aggs[i].Call.Args).
 	KeysC    []eval.CompiledExpr
 	AggArgsC [][]eval.CompiledExpr
-	schema   *eval.BoundSchema
+	// ArgK holds vectorized compute kernels for the aggregate arguments
+	// (ArgK[i] aligns with Aggs[i].Call.Args; nil for COUNT(*)). The batch
+	// aggregation path runs only when keys are plain columns and every
+	// argument kernel is valid and supported over the input image.
+	ArgK [][]eval.ExprKernel
+	// VecNote is EXPLAIN's vectorized= annotation ("yes" / "no(reason)").
+	VecNote string
+	schema  *eval.BoundSchema
 }
 
 // Union concatenates (ALL) or deduplicates its inputs.

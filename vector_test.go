@@ -114,6 +114,23 @@ func TestVectorizedEqualsInterpreter(t *testing.T) {
 		`SELECT a, c, SUM(b) FROM t1 WHERE a > 5 GROUP BY a, c`,
 		// Filter above a join (no columnar provenance: closure path).
 		`SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.k WHERE t2.w > 2`,
+		// Compute projections: arithmetic and concat kernels over typed,
+		// nullable vectors (int/float widening, NULL propagation).
+		`SELECT a * 2 + b, b - a / 2.0, a * a FROM t1 WHERE a > 5`,
+		`SELECT c || '-' || c, a FROM t1`,
+		`SELECT a + b, a - a2, b * b FROM t1 WHERE ok`,
+		// Modulo has no kernel: projection falls back to closures.
+		`SELECT a % 5, b FROM t1 WHERE a > 10`,
+		// Batch aggregation over computed arguments, and MIN/MAX over
+		// string and bool vectors (dict and bitmap representations).
+		`SELECT c, SUM(b * 2 + a), AVG(b - 1.5), COUNT(b), MIN(b), MAX(b + 0.5) FROM t1 GROUP BY c`,
+		`SELECT c, MIN(c), MAX(c), COUNT(*) FROM t1 GROUP BY c`,
+		`SELECT ok, SUM(a), MIN(ok), MAX(ok) FROM t1 GROUP BY ok`,
+		// Post-join aggregation and projection: columnar provenance must
+		// survive the hash join for the kernels to stay engaged.
+		`SELECT t2.d, SUM(t1.b), COUNT(*) FROM t1 JOIN t2 ON t1.a = t2.k GROUP BY t2.d`,
+		`SELECT t2.d, SUM(t1.a + t2.w), AVG(t1.b) FROM t1 JOIN t2 ON t1.a = t2.k GROUP BY t2.d`,
+		`SELECT t1.a + t2.w, t1.c || '/' || t2.d FROM t1 JOIN t2 ON t1.a = t2.k`,
 	}
 	for seed := int64(0); seed < 3; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -176,6 +193,11 @@ func TestVectorizedAllNullAndEmpty(t *testing.T) {
 		`SELECT a, b FROM empty`,
 		`SELECT b, SUM(a) FROM empty GROUP BY b`,
 		`SELECT a FROM nt WHERE a > 1000`, // non-empty scan, empty selection
+		// Compute kernels over the all-null vector: arithmetic and every
+		// aggregate must produce NULLs / zero counts identically.
+		`SELECT a + z, z * 2.0, c || '-' FROM nt`,
+		`SELECT c, SUM(z), AVG(z), MIN(z), MAX(z), COUNT(z) FROM nt GROUP BY c`,
+		`SELECT b, SUM(a + 1) FROM empty GROUP BY b`,
 	})
 }
 
@@ -245,6 +267,9 @@ func TestVectorizedDictOverflow(t *testing.T) {
 		`SELECT id FROM big WHERE u LIKE 'u00001%'`,
 		`SELECT id FROM big WHERE u IS NULL`,
 		`SELECT id FROM big WHERE u > 'u065535' AND id < 66000`,
+		// Concat and MIN/MAX over the plain (overflowed) string vector.
+		`SELECT u || '!', id FROM big WHERE id < 300`,
+		`SELECT MIN(u), MAX(u), COUNT(u), COUNT(*) FROM big`,
 	})
 }
 
@@ -275,6 +300,92 @@ func TestVectorizedNumericEdges(t *testing.T) {
 		`SELECT f FROM num WHERE f IN (7, 9223372036854775807)`,
 		`SELECT i FROM num WHERE i BETWEEN -10 AND 10`,
 		`SELECT i FROM num WHERE NOT (f >= 0)`,
+		// Compute kernels on the edges: int64 wraparound (i + i at
+		// MaxInt64), NaN/Inf arithmetic, int->float widening.
+		`SELECT i + i, f * 2.0, i - 1 FROM num`,
+		`SELECT i + f, f - f, f / 2.0 FROM num`,
+		`SELECT SUM(i), SUM(f), AVG(f), MIN(f), MAX(f), MIN(i), MAX(i), COUNT(f) FROM num`,
+	})
+}
+
+// TestVectorizedSpreadsheetBatchScan drives the core engine's batch partition
+// scan (vecScanFeed): aggregate formulas whose qualifiers force a scan
+// (ranges, stars) over partitions larger than vecScanMinRows, including a
+// predicate qualifier that must fall back to the row matcher, and degenerate
+// measures (all-NULL, NaN/Inf) where bit-exact accumulation order matters.
+func TestVectorizedSpreadsheetBatchScan(t *testing.T) {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	// 4 products x 26 years = 104 rows per PBY(r) partition, past the
+	// vecScanMinRows=64 gate on both partitions.
+	rows := make([][]any, 0, 2*4*26)
+	for _, r := range []string{"east", "west"} {
+		for pi, p := range []string{"tv", "vcr", "dvd", "amp"} {
+			for yr := 1980; yr < 2006; yr++ {
+				rows = append(rows, []any{r, p, yr, float64((yr-1980)*(pi+1)) * 0.25})
+			}
+		}
+	}
+	if err := db.Insert("f", rows...); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE g (r TEXT, t INT, s FLOAT)`)
+	rows = rows[:0]
+	for i := 0; i < 80; i++ {
+		rows = append(rows, []any{"nul", i, nil}) // all-NULL measure partition
+		var s float64
+		switch i % 5 {
+		case 0:
+			s = math.NaN()
+		case 1:
+			s = math.Inf(1)
+		case 2:
+			s = math.Inf(-1)
+		default:
+			s = float64(i) * 0.5
+		}
+		rows = append(rows, []any{"nan", i, s})
+	}
+	if err := db.Insert("g", rows...); err != nil {
+		t.Fatal(err)
+	}
+	checkVectorGrid(t, db, []string{
+		// Point+range, star-star, and per-aggregate coverage (sum, count,
+		// avg, min, max, slope) on the batch scan path. Ranges are wider
+		// than maxRangeProbe so they stay in scan mode instead of unfolding
+		// into point probes; the narrow range on the last formula checks the
+		// probe and scan paths coexist in one statement.
+		`SELECT r, p, t, s FROM f
+		 SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		 ( UPSERT s['agg', 3000] = sum(s)['tv', 1700 <= t <= 1999],
+		   UPSERT s['agg', 3001] = count(s)[*, *],
+		   UPSERT s['agg', 3002] = avg(s)['dvd', *],
+		   UPSERT s['agg', 3003] = max(s)[*, 1000 < t < 2000],
+		   UPSERT s['agg', 3004] = min(s)['vcr', *],
+		   UPSERT s['agg', 3005] = slope(s, t)['tv', *],
+		   UPSERT s['agg', 3006] = sum(s)['amp', 1990 <= t <= 1999] )
+		 ORDER BY r, p, t`,
+		// Predicate qualifier: no declarative descriptor, so the batch scan
+		// declines and the row matcher runs — results must not move.
+		`SELECT r, p, t, s FROM f
+		 SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		 ( UPSERT s['pq', 3100] = sum(s)[p <> 'pq', t < 3000] )
+		 ORDER BY r, p, t`,
+		// Existential targets: s[*, ...] builds one instance per target row
+		// with a cv(p) point qualifier; each goes through scanFeed.
+		`SELECT r, p, t, s FROM f
+		 SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		 ( s[*, 3200] = avg(s)[cv(p), 1990 <= t <= 2001] )
+		 ORDER BY r, p, t`,
+		// Degenerate measures: all-NULL partition and NaN/Inf accumulation.
+		`SELECT r, t, s FROM g
+		 SPREADSHEET PBY(r) DBY (t) MEA (s)
+		 ( UPSERT s[9000] = sum(s)[-1000 <= t <= 100],
+		   UPSERT s[9001] = avg(s)[-1000 <= t < 100],
+		   UPSERT s[9002] = min(s)[0 <= t <= 1000],
+		   UPSERT s[9003] = max(s)[-500 <= t < 50],
+		   UPSERT s[9004] = count(s)[0 <= t <= 500] )
+		 ORDER BY r, t`,
 	})
 }
 
