@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race race-vector serve-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector lint-hotpath
+.PHONY: build test verify vet race race-vector serve-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector bench-rules lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,7 @@ lint-hotpath:
 	fi; \
 	bad=$$(grep -n '\.Value(\|types\.New[A-Z]' internal/eval/vector.go internal/eval/exprvec.go \
 		internal/eval/aggbatch.go internal/exec/vector.go internal/exec/vecagg.go \
-		internal/exec/vecproject.go internal/core/vecscan.go \
+		internal/exec/vecproject.go internal/core/vecscan.go internal/core/vecrules.go \
 		| grep -v 'interp-ok:'); \
 	if [ -n "$$bad" ]; then \
 		echo "lint-hotpath: unannotated per-row boxing in vectorized kernels:"; \
@@ -119,9 +119,21 @@ bench-compare:
 # rewrites it.
 bench-vector:
 	$(GO) test -run '^$$' -bench 'BenchmarkColdScanFilter|BenchmarkColdGroupBy|BenchmarkColdProjection|BenchmarkColdAgg|BenchmarkColdJoinGroupBy' -benchmem . | \
-	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json \
+	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json -merge \
 		-command "make bench-vector" \
 		-note "cold-path vectorization: columnar kernels vs row-at-a-time closures (DisableVectorizedExec ablation)"
+
+# Batch rule engine benchmark: spreadsheet rule application (evalFrame over
+# a prebuilt 100k-cell partition set) under the vectorized kernels vs the
+# per-cell interpreter, ablated with DisableVectorizedRules (byte-identical
+# results either way — see TestVectorizedRulesMatchRowPath). Shares the
+# BENCH_vector.json baseline with bench-vector; -fail-over guards against a
+# rule silently falling off the batch path.
+bench-rules:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpreadsheetRules' -benchmem ./internal/core/ | \
+	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json -fail-over 50 -merge \
+		-command "make bench-rules" \
+		-note "batch rule application: existential and FOR-loop rules, vectorized vs per-cell (DisableVectorizedRules ablation)"
 
 # Serving-layer throughput: end-to-end client round-trips at 1, 8 and 64
 # concurrent sessions, serving-path cache cold vs warm. cmd/benchjson diffs

@@ -55,6 +55,7 @@ func main() {
 	command := flag.String("command", "", "command string recorded in the JSON")
 	note := flag.String("note", "", "host note recorded in the JSON")
 	failOver := flag.Float64("fail-over", 0, "exit nonzero when any benchmark regresses more than this percentage vs the -diff baseline (0 disables)")
+	merge := flag.Bool("merge", false, "carry -diff baseline results absent from this run into the written record, so several benchmark suites can share one baseline file")
 	flag.Parse()
 
 	rec := record{Recorded: time.Now().UTC().Format("2006-01-02"), Command: *command}
@@ -109,9 +110,10 @@ func main() {
 	}
 
 	var regressions []string
+	var base *record
 	if *diff != "" {
 		var err error
-		regressions, err = diffBaseline(*diff, rec.Results, *failOver)
+		base, regressions, err = diffBaseline(*diff, rec.Results, *failOver, *merge)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,6 +123,21 @@ func main() {
 	if *failOver > 0 && len(regressions) > 0 {
 		fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline:\n  %s",
 			len(regressions), *failOver, strings.Join(regressions, "\n  ")))
+	}
+	if *merge && base != nil {
+		// Baseline entries this run did not re-measure come first, in their
+		// baseline order, so suites sharing the file interleave stably.
+		cur := make(map[string]bool, len(rec.Results))
+		for _, r := range rec.Results {
+			cur[resultKey(r)] = true
+		}
+		var kept []result
+		for _, r := range base.Results {
+			if !cur[resultKey(r)] {
+				kept = append(kept, r)
+			}
+		}
+		rec.Results = append(kept, rec.Results...)
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(&rec, "", "  ")
@@ -145,27 +162,26 @@ func main() {
 // failOver > 0 additionally collects every common benchmark whose ns/op grew
 // by more than that percentage; the returned list drives -fail-over's
 // nonzero exit. New and gone benchmarks never count as regressions.
-func diffBaseline(path string, cur []result, failOver float64) ([]string, error) {
+func diffBaseline(path string, cur []result, failOver float64, merge bool) (*record, []string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline at %s (skipping diff)\n", path)
-		return nil, nil
+		return nil, nil, nil
 	}
 	var base record
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, fmt.Errorf("parse baseline %s: %v", path, err)
+		return nil, nil, fmt.Errorf("parse baseline %s: %v", path, err)
 	}
-	key := func(r result) string { return fmt.Sprintf("%s@%d", r.Name, r.CPU) }
 	old := make(map[string]result, len(base.Results))
 	for _, r := range base.Results {
-		old[key(r)] = r
+		old[resultKey(r)] = r
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (recorded %s)\n", path, base.Recorded)
 	var regressions []string
 	seen := make(map[string]bool, len(cur))
 	for _, r := range cur {
-		seen[key(r)] = true
-		b, ok := old[key(r)]
+		seen[resultKey(r)] = true
+		b, ok := old[resultKey(r)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12s -> %12d ns/op  (new)\n",
 				r.Name, r.CPU, "-", r.NsOp)
@@ -188,14 +204,21 @@ func diffBaseline(path string, cur []result, failOver float64) ([]string, error)
 				fmt.Sprintf("%s -cpu %d: %d -> %d ns/op (%.2fx)", r.Name, r.CPU, b.NsOp, r.NsOp, ratio))
 		}
 	}
+	absent := "gone"
+	if merge {
+		absent = "kept"
+	}
 	for _, r := range base.Results {
-		if !seen[key(r)] {
-			fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12d -> %12s ns/op  (gone)\n",
-				r.Name, r.CPU, r.NsOp, "-")
+		if !seen[resultKey(r)] {
+			fmt.Fprintf(os.Stderr, "  %-50s -cpu %d  %12d -> %12s ns/op  (%s)\n",
+				r.Name, r.CPU, r.NsOp, "-", absent)
 		}
 	}
-	return regressions, nil
+	return &base, regressions, nil
 }
+
+// resultKey identifies one benchmark across runs: name plus -cpu count.
+func resultKey(r result) string { return fmt.Sprintf("%s@%d", r.Name, r.CPU) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -158,6 +158,15 @@ type Config struct {
 	// row-at-a-time engine instead of columnar batch kernels over cached
 	// table images; results are byte-identical either way (ablation knob).
 	DisableVectorizedExec bool
+	// DisableVectorizedRules keeps spreadsheet formula application on the
+	// per-cell path instead of batch rule kernels; results are byte-
+	// identical either way (ablation knob). DisableVectorizedExec implies
+	// it, so one flag still ablates every batch layer at once.
+	DisableVectorizedRules bool
+	// VecMinRows overrides the spreadsheet engine's minimum batch size
+	// (partition rows for scans and existential rules, enumerated targets
+	// for single-cell rules); 0 uses the engine default (64).
+	VecMinRows int
 	// PromoteIndependentDims enables S4-style duplication of an
 	// independent dimension into the distribution key when PBY is empty.
 	PromoteIndependentDims bool
@@ -761,21 +770,23 @@ func ToValue(v any) Value {
 func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 	o := db.opts
 	ex := exec.New(db.cat, exec.Options{
-		Ctx:                   ctx,
-		Parallel:              o.Parallel,
-		Workers:               o.Workers,
-		MorselSize:            o.MorselSize,
-		Buckets:               o.Buckets,
-		MemoryBudget:          o.MemoryBudget,
-		SpillDir:              o.SpillDir,
-		DisableSingleScan:     o.DisableSingleScan,
-		DisableRangeProbe:     o.DisableRangeProbe,
-		UseBTreeIndex:         o.UseBTreeIndex,
-		DisableCompiledEval:   o.DisableCompiledEval,
-		DisableParallelBuild:  o.DisableParallelBuild,
-		DisableParallelSort:   o.DisableParallelSort,
-		DisableAsyncSpill:     o.DisableAsyncSpill,
-		DisableVectorizedExec: o.DisableVectorizedExec,
+		Ctx:                    ctx,
+		Parallel:               o.Parallel,
+		Workers:                o.Workers,
+		MorselSize:             o.MorselSize,
+		Buckets:                o.Buckets,
+		MemoryBudget:           o.MemoryBudget,
+		SpillDir:               o.SpillDir,
+		DisableSingleScan:      o.DisableSingleScan,
+		DisableRangeProbe:      o.DisableRangeProbe,
+		UseBTreeIndex:          o.UseBTreeIndex,
+		DisableCompiledEval:    o.DisableCompiledEval,
+		DisableParallelBuild:   o.DisableParallelBuild,
+		DisableParallelSort:    o.DisableParallelSort,
+		DisableAsyncSpill:      o.DisableAsyncSpill,
+		DisableVectorizedExec:  o.DisableVectorizedExec,
+		DisableVectorizedRules: o.DisableVectorizedRules,
+		VecMinRows:             o.VecMinRows,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -792,6 +803,7 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		DisableParallelBuild:   o.DisableParallelBuild,
 		DisableParallelSort:    o.DisableParallelSort,
 		DisableVectorizedExec:  o.DisableVectorizedExec,
+		DisableVectorizedRules: o.DisableVectorizedRules,
 		Exec:                   ex,
 	}
 	return ex

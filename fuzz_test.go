@@ -53,3 +53,81 @@ func FuzzQuery(f *testing.F) {
 		_ = res.String()
 	})
 }
+
+var (
+	ruleFuzzOnce  sync.Once
+	ruleFuzzBatch *sqlsheet.DB
+	ruleFuzzRow   *sqlsheet.DB
+)
+
+// getRuleFuzzDBs returns two identically-populated databases, one pinned to
+// the batch rule engine (cutoff 1) and one pinned to the per-cell
+// interpreter, so a fuzzed rule set can be differentially executed.
+func getRuleFuzzDBs() (*sqlsheet.DB, *sqlsheet.DB) {
+	ruleFuzzOnce.Do(func() {
+		mk := func(cfg sqlsheet.Config) *sqlsheet.DB {
+			db := sqlsheet.Open()
+			db.MustExec(`CREATE TABLE rf (r TEXT, p TEXT, t INT, s FLOAT, u FLOAT)`)
+			rows := make([][]any, 0, 2*4*30)
+			for _, r := range []string{"east", "west"} {
+				for pi, p := range []string{"tv", "vcr", "dvd", "amp"} {
+					for yr := 1980; yr < 2010; yr++ {
+						rows = append(rows, []any{r, p, yr, float64(yr-1979)*1.5 + float64(pi)*7.25, 0.0})
+					}
+				}
+			}
+			if err := db.Insert("rf", rows...); err != nil {
+				panic(err)
+			}
+			db.Configure(cfg)
+			return db
+		}
+		ruleFuzzBatch = mk(sqlsheet.Config{Workers: 1, VecMinRows: 1, DisablePlanCache: true})
+		ruleFuzzRow = mk(sqlsheet.Config{Workers: 1, DisableVectorizedRules: true, DisablePlanCache: true})
+	})
+	return ruleFuzzBatch, ruleFuzzRow
+}
+
+// FuzzRuleKernel differentially executes a fuzzed spreadsheet rule set on
+// the batch rule engine and the per-cell interpreter. Both must agree on
+// success (byte-identical rows) and on failure (identical error text) —
+// the batch path may only ever fall back, never change a result.
+func FuzzRuleKernel(f *testing.F) {
+	seeds := []string{
+		`UPDATE u[*, *] = s[cv(p), cv(t)] * 0.5 + s[cv(p), cv(t) - 1]`,
+		`UPSERT u[FOR p IN ('tv','vcr'), FOR t FROM 2010 TO 2020] = s[cv(p), cv(t) - 30] * 2`,
+		`UPDATE u[*, *] = s[cv(p), cv(t)] / (s[cv(p), cv(t)] - s[cv(p), cv(t)])`,
+		`UPDATE u['tv', t > 2000] = min(s)['tv', 1980 <= t <= 1999] + s['tv', 2004]`,
+		`UPDATE u[p IN ('tv','dvd'), 1990 <= t <= 2005] = avg(s)[cv(p), 1990 <= t <= 1999]`,
+		`UPDATE u[*, *] = z[cv(p), cv(t)]`,
+		`UPDATE s['tv', 2005] = s['tv', 1980] * 2`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, rules string) {
+		q := `SELECT r, p, t, s, u FROM rf SPREADSHEET PBY(r) DBY (p, t) MEA (s, u) (` +
+			rules + `) ORDER BY r, p, t`
+		batch, row := getRuleFuzzDBs()
+		resB, errB := batch.Query(q)
+		resR, errR := row.Query(q)
+		if (errB == nil) != (errR == nil) {
+			t.Fatalf("error divergence:\n  batch: %v\n  row:   %v\n%s", errB, errR, q)
+		}
+		if errB != nil {
+			if errB.Error() != errR.Error() {
+				t.Fatalf("error text divergence:\n  batch: %v\n  row:   %v\n%s", errB, errR, q)
+			}
+			return
+		}
+		rb, rr := exactRows(resB), exactRows(resR)
+		if len(rb) != len(rr) {
+			t.Fatalf("row count divergence: batch=%d row=%d\n%s", len(rb), len(rr), q)
+		}
+		for i := range rb {
+			if rb[i] != rr[i] {
+				t.Fatalf("row %d divergence:\n  batch: %v\n  row:   %v\n%s", i, rb[i], rr[i], q)
+			}
+		}
+	})
+}

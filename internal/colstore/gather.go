@@ -112,6 +112,46 @@ func (b *Builder) Build() *Table {
 	return t
 }
 
+// FromValues builds one column from boxed values with the same
+// representation decisions as a full image build (typed vectors, null
+// bitmaps, dictionary encoding with plain-string overflow, boxed storage
+// for mixed kinds). The slice may be retained (mixed-kind columns keep it).
+func FromValues(vals []types.Value) *Column {
+	return buildColumnVals(vals)
+}
+
+// Broadcast builds an n-row column where every slot holds v — the columnar
+// form of a per-rule constant (a partition-key value, a computed aggregate)
+// extended over a selection.
+func Broadcast(v types.Value, n int) *Column {
+	if v.IsNull() {
+		c := &Column{Kind: types.KindNull, N: n, Nulls: NewBitmap(n)}
+		for i := 0; i < n; i++ {
+			c.Nulls.Set(i)
+		}
+		return c
+	}
+	c := &Column{Kind: v.K, N: n}
+	switch v.K {
+	case types.KindInt, types.KindBool:
+		c.Ints = make([]int64, n)
+		for i := range c.Ints {
+			c.Ints[i] = v.I
+		}
+	case types.KindFloat:
+		c.Floats = make([]float64, n)
+		for i := range c.Floats {
+			c.Floats[i] = v.F
+		}
+	case types.KindString:
+		c.Strs = make([]string, n)
+		for i := range c.Strs {
+			c.Strs[i] = v.S
+		}
+	}
+	return c
+}
+
 // buildColumnVals is buildColumn over column-major boxed values: the same
 // two passes deciding representation, then filling exact-sized vectors.
 func buildColumnVals(vals []types.Value) *Column {

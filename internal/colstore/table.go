@@ -35,6 +35,16 @@ func FromRows(ncols int, rows []types.Row) *Table {
 	return t
 }
 
+// WithExtra returns a table sharing t's columns with extra appended — the
+// extended image a rule kernel runs over, where leaf ordinals past the
+// schema resolve to caller-populated columns. t itself is not modified.
+func (t *Table) WithExtra(extra []*Column) *Table {
+	cols := make([]*Column, 0, len(t.Cols)+len(extra))
+	cols = append(cols, t.Cols...)
+	cols = append(cols, extra...)
+	return &Table{NRows: t.NRows, Cols: cols, Rows: t.Rows}
+}
+
 // NumChunks returns the number of ChunkSize-row chunks covering the table.
 func (t *Table) NumChunks() int { return (t.NRows + ChunkSize - 1) / ChunkSize }
 

@@ -83,8 +83,17 @@ func (fe *frameEval) runRules(idxs []int) error {
 		}
 	}
 
-	// Evaluate the single-cell formulas.
+	// Evaluate the single-cell formulas, each rule as one batch when its
+	// kernels apply (see vecrules.go), per cell otherwise.
 	for _, e := range ls {
+		handled, err := fe.vecApplyPoints(e)
+		if err != nil {
+			return err
+		}
+		fe.opts.Stats.countRule(handled)
+		if handled {
+			continue
+		}
 		for ti, dims := range e.targets {
 			fe.curAggs = e.aggMaps[ti]
 			if err := fe.applyPoint(e.rule, dims, e.ctxs[ti]); err != nil {
@@ -109,8 +118,10 @@ func (fe *frameEval) runRules(idxs []int) error {
 // bit for bit.
 func (fe *frameEval) scanFeed(insts []*aggInstance) error {
 	if handled, err := fe.vecScanFeed(insts); handled {
+		fe.opts.Stats.countScan(true)
 		return err
 	}
+	fe.opts.Stats.countScan(false)
 	var ferr error
 	fe.f.Each(func(pos int, row types.Row) bool {
 		if ferr = fe.tick(); ferr != nil {
@@ -280,6 +291,7 @@ func (fe *frameEval) assignMeasure(pos, mea int, v types.Value) error {
 		nr := row.Clone()
 		nr[mea] = v
 		fe.f.b.store.Set(id, nr)
+		fe.f.imgMark(mea)
 		row = nr
 	}
 	if fe.assigned != nil {
@@ -304,6 +316,11 @@ func (fe *frameEval) assignMeasure(pos, mea int, v types.Value) error {
 // rows, then each target evaluates its right side — with scan (III) for any
 // non-probe aggregates.
 func (fe *frameEval) applyExistential(r *Rule) error {
+	if handled, err := fe.vecApplyExistential(r); handled {
+		fe.opts.Stats.countRule(true)
+		return err
+	}
+	fe.opts.Stats.countRule(false)
 	targets, err := fe.matchTargets(r)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/btree"
+	"sqlsheet/internal/colstore"
 	"sqlsheet/internal/types"
 )
 
@@ -53,6 +54,30 @@ type Frame struct {
 	// re-entrantly, so a single buffer makes steady-state cell probes
 	// allocation-free.
 	keyScratch []byte
+
+	// img caches the frame's columnar snapshot (frameImage) so consecutive
+	// vectorized rules pay only for the columns written between them: every
+	// measure write marks its column in imgDirty, an Insert drops the cache
+	// (the row set changed), and the next snapshot rebuilds just the dirty
+	// columns. Single-PE frame ownership (see keyScratch) makes the cache
+	// race-free.
+	img      []*colstore.Column
+	imgRows  int
+	imgDirty []bool
+}
+
+// imgMark records that a column's stored values changed since the cached
+// snapshot was taken.
+func (f *Frame) imgMark(col int) {
+	if f.img != nil && col < len(f.imgDirty) {
+		f.imgDirty[col] = true
+	}
+}
+
+// imgDrop invalidates the cached snapshot entirely (row set changed).
+func (f *Frame) imgDrop() {
+	f.img = nil
+	f.imgDirty = nil
 }
 
 // StoreFactory builds the row store for one first-level bucket.
@@ -259,6 +284,29 @@ func (f *Frame) Lookup(dims []types.Value) (pos int, ok bool) {
 	return f.lookupKey(f.dimsKey(dims))
 }
 
+// LookupBatch probes the second-level index for every row of a columnar key
+// image: keyCols holds one column per DBY dimension, out receives the frame
+// position of each row's cell or -1 on a miss. The key bytes come from
+// Column.AppendKey — byte-identical to the types.AppendKey encoding Lookup
+// uses, including integral-float normalization — through one reused scratch
+// buffer, so the whole batch is a run of no-alloc map probes: the paper's
+// F1 unfolding done once per rule instead of once per cell.
+func (f *Frame) LookupBatch(keyCols []*colstore.Column, out []int32) {
+	n := len(out)
+	for r := 0; r < n; r++ {
+		buf := f.keyScratch[:0]
+		for _, c := range keyCols {
+			buf = c.AppendKey(buf, r)
+		}
+		f.keyScratch = buf
+		if pos, ok := f.lookupKey(buf); ok {
+			out[r] = int32(pos)
+		} else {
+			out[r] = -1
+		}
+	}
+}
+
 // WasPresent reports whether the cell existed before the spreadsheet ran.
 func (f *Frame) WasPresent(dims []types.Value) bool {
 	return f.present[string(f.dimsKey(dims))]
@@ -276,7 +324,20 @@ func (f *Frame) SetMeasure(pos, col int, v types.Value) bool {
 	nr := row.Clone()
 	nr[col] = v
 	f.b.store.Set(id, nr)
+	f.imgMark(col)
 	return true
+}
+
+// SetMeasureBulk writes one measure column for a batch of frame positions:
+// the columnar writeback of a vectorized rule. Positions are written in
+// slice order — the same cell order the per-cell path produces — with the
+// same mark-updated-then-compare-then-clone semantics as a single
+// assignment.
+func (f *Frame) SetMeasureBulk(pos []int32, col int, vals []types.Value) {
+	for i, p := range pos {
+		f.MarkUpdated(int(p))
+		f.SetMeasure(int(p), col, vals[i])
+	}
 }
 
 // Insert adds a new row for the given dimension values: PBY columns take
@@ -290,6 +351,7 @@ func (f *Frame) Insert(m *Model, dims []types.Value) int {
 	pos := len(f.ids)
 	f.ids = append(f.ids, id)
 	f.putKey(keyOf(dims), pos)
+	f.imgDrop()
 	return pos
 }
 

@@ -54,6 +54,11 @@ type Model struct {
 	// expression set — and read-only afterwards, so PE goroutines share it
 	// without locking. A missing entry falls back to the interpreter.
 	compiled map[sqlast.Expr]eval.CompiledExpr
+
+	// vecRules maps each rule to its compiled batch form (or its fallback
+	// reason). Built once like compiled (see buildVecRules), read-only
+	// during execution.
+	vecRules map[*Rule]*vecRuleProg
 }
 
 type refMeaBinding struct {

@@ -42,7 +42,7 @@ func R(vals ...any) types.Row {
 }
 
 // mustClause extracts the spreadsheet clause from a SQL query.
-func mustClause(t *testing.T, sql string) *sqlast.SpreadsheetClause {
+func mustClause(t testing.TB, sql string) *sqlast.SpreadsheetClause {
 	t.Helper()
 	q, err := parser.ParseQuery(sql)
 	if err != nil {
@@ -56,7 +56,7 @@ func mustClause(t *testing.T, sql string) *sqlast.SpreadsheetClause {
 }
 
 // workingSchema derives the working schema from the clause's PBY/DBY/MEA.
-func workingSchema(t *testing.T, sc *sqlast.SpreadsheetClause) *types.Schema {
+func workingSchema(t testing.TB, sc *sqlast.SpreadsheetClause) *types.Schema {
 	t.Helper()
 	var cols []types.Column
 	for _, lists := range [][]sqlast.Expr{sc.PBY, sc.DBY} {
@@ -75,7 +75,7 @@ func workingSchema(t *testing.T, sc *sqlast.SpreadsheetClause) *types.Schema {
 }
 
 // refMetaFor builds RefMeta (with data) from the clause's reference sheets.
-func refMetaFor(t *testing.T, sc *sqlast.SpreadsheetClause, data map[string][]types.Row) []*RefMeta {
+func refMetaFor(t testing.TB, sc *sqlast.SpreadsheetClause, data map[string][]types.Row) []*RefMeta {
 	t.Helper()
 	var out []*RefMeta
 	for i, rs := range sc.Refs {
@@ -99,7 +99,7 @@ func refMetaFor(t *testing.T, sc *sqlast.SpreadsheetClause, data map[string][]ty
 }
 
 // mustModel compiles a clause from SQL.
-func mustModel(t *testing.T, sql string, refData map[string][]types.Row) *Model {
+func mustModel(t testing.TB, sql string, refData map[string][]types.Row) *Model {
 	t.Helper()
 	sc := mustClause(t, sql)
 	m, err := Compile(sc, workingSchema(t, sc), refMetaFor(t, sc, refData))

@@ -59,6 +59,18 @@ type RunOptions struct {
 	// vecscan.go); the executor wires its DisableVectorizedExec here so one
 	// ablation flag covers both engines.
 	DisableVectorizedScan bool
+	// DisableVectorizedRules keeps formula application on the per-cell
+	// path instead of the batch rule kernels (see vecrules.go). Results
+	// are bit-identical either way; this is the ablation knob.
+	DisableVectorizedRules bool
+	// VecMinRows overrides the minimum batch size (partition rows for
+	// scans and existential rules, enumerated targets for single-cell
+	// rules) below which the batch paths stay per row; <=0 uses the
+	// default (64). Shared by vecscan.go and vecrules.go.
+	VecMinRows int
+	// Stats, when non-nil, receives batch-versus-row path counters
+	// (atomic; shared safely by parallel PEs).
+	Stats *VecStats
 	// Cols, when non-nil, supplies columnar vectors for the working
 	// relation's key columns; the partition build encodes PBY/DBY keys
 	// from them instead of boxed row values (byte-identical either way).
@@ -86,6 +98,9 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 	}
 	if m.compiled == nil && !opts.DisableCompiledEval {
 		m.buildCompiled()
+	}
+	if !opts.DisableVectorizedRules {
+		m.buildVecRules()
 	}
 	newStore := opts.NewStore
 	if newStore == nil {

@@ -99,6 +99,17 @@ func (fe *frameEval) runSingleScan() error {
 	defer func() { fe.maintained = nil }()
 	for _, le := range all {
 		for _, e := range le.ls {
+			// Agg-free models (maintained stays nil) batch exactly like
+			// runRules; any maintained aggregate forces the per-cell path so
+			// inverse maintenance observes every write.
+			handled, err := fe.vecApplyPoints(e)
+			if err != nil {
+				return err
+			}
+			fe.opts.Stats.countRule(handled)
+			if handled {
+				continue
+			}
 			for ti, dims := range e.targets {
 				fe.curAggs = e.aggMaps[ti]
 				if err := fe.applyPoint(e.rule, dims, e.ctxs[ti]); err != nil {

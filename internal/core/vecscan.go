@@ -32,10 +32,20 @@ import (
 // DisableVectorizedScan (wired from the executor's DisableVectorizedExec)
 // ablates the layer.
 
-// vecScanMinRows keeps tiny partitions on the row path: building the
+// defaultVecMinRows keeps tiny batches on the row path: building the
 // columnar image costs one extra pass over the rows, which only pays off
-// once the kernel loops have enough rows to amortize it.
-const vecScanMinRows = 64
+// once the kernel loops have enough rows to amortize it. Both batch
+// engines — the aggregate scan here and the rule kernels in vecrules.go —
+// share the cutoff, overridable via RunOptions.VecMinRows.
+const defaultVecMinRows = 64
+
+// vecMinRows resolves the batch-size cutoff for this run.
+func (opts *RunOptions) vecMinRows() int {
+	if opts.VecMinRows > 0 {
+		return opts.VecMinRows
+	}
+	return defaultVecMinRows
+}
 
 // vecQual kinds. vqOpaque is the zero value: a dimension only the closure
 // matcher can test.
@@ -62,7 +72,7 @@ type vecQual struct {
 // accumulators (scanFeed's contract), so replacing inst.acc with the
 // unboxed batch state is exact.
 func (fe *frameEval) vecScanFeed(insts []*aggInstance) (bool, error) {
-	if fe.opts.DisableVectorizedScan || fe.trackRefs || fe.m.IgnoreNav || fe.f.Len() < vecScanMinRows {
+	if fe.opts.DisableVectorizedScan || fe.trackRefs || fe.m.IgnoreNav || fe.f.Len() < fe.opts.vecMinRows() {
 		return false, nil
 	}
 	kerns := make([][]eval.ExprKernel, len(insts))
@@ -142,21 +152,74 @@ func (fe *frameEval) vecScanFeed(insts []*aggInstance) (bool, error) {
 }
 
 // frameImage snapshots the partition's current rows into a columnar image in
-// one scan, ticking per row exactly like the row scan it replaces.
+// one scan, ticking per row exactly like the row scan it replaces. The
+// snapshot is cached on the frame: a later call re-extracts only the columns
+// written since (imgDirty), so a sequence of vectorized rules pays the full
+// row-to-column conversion once, then one column per assigned measure. The
+// returned table owns its Cols slice but shares the cached columns; callers
+// treat images as immutable (WithExtra copies before extending).
 func (fe *frameEval) frameImage() (*colstore.Table, error) {
-	b := colstore.NewBuilder(fe.m.Schema.Len())
-	var ferr error
-	fe.f.Each(func(pos int, row types.Row) bool {
-		if ferr = fe.tick(); ferr != nil {
-			return false
+	f := fe.f
+	ncols := fe.m.Schema.Len()
+	if f.img == nil || f.imgRows != f.Len() || len(f.img) != ncols {
+		b := colstore.NewBuilder(ncols)
+		var ferr error
+		f.Each(func(pos int, row types.Row) bool {
+			if ferr = fe.tick(); ferr != nil {
+				return false
+			}
+			b.Append(row)
+			return true
+		})
+		if ferr != nil {
+			return nil, ferr
 		}
-		b.Append(row)
-		return true
-	})
-	if ferr != nil {
-		return nil, ferr
+		t := b.Build()
+		f.img = append([]*colstore.Column(nil), t.Cols...)
+		f.imgRows = t.NRows
+		f.imgDirty = make([]bool, ncols)
+		return t, nil
 	}
-	return b.Build(), nil
+	var dirty []int
+	for c, d := range f.imgDirty {
+		if d {
+			dirty = append(dirty, c)
+		}
+	}
+	if len(dirty) > 0 {
+		vals := make([][]types.Value, len(dirty))
+		for i := range vals {
+			vals[i] = make([]types.Value, 0, f.imgRows)
+		}
+		var ferr error
+		f.Each(func(pos int, row types.Row) bool {
+			if ferr = fe.tick(); ferr != nil {
+				return false
+			}
+			for i, c := range dirty {
+				vals[i] = append(vals[i], row[c])
+			}
+			return true
+		})
+		if ferr != nil {
+			return nil, ferr
+		}
+		for i, c := range dirty {
+			f.img[c] = colstore.FromValues(vals[i])
+			f.imgDirty[c] = false
+		}
+	} else {
+		// Cache hit: keep the per-row tick cadence (cancellation polls) of
+		// the scan this replaces.
+		for i := 0; i < f.imgRows; i++ {
+			if err := fe.tick(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cols := make([]*colstore.Column, ncols)
+	copy(cols, f.img)
+	return &colstore.Table{NRows: f.imgRows, Cols: cols}, nil
 }
 
 // vecMatchSel appends the image rows matching inst's dimension qualifiers to

@@ -179,13 +179,38 @@ func (k ExprKernel) Valid() bool { return k.root != nil }
 // MinCols returns 1 + the highest schema ordinal the kernel reads.
 func (k ExprKernel) MinCols() int { return k.nOrd }
 
+// ColRefs appends every column ordinal the kernel reads to dst (duplicates
+// possible). Callers use it to materialize only the image columns a kernel
+// will touch.
+func (k ExprKernel) ColRefs(dst []int) []int { return exprColRefs(k.root, dst) }
+
+func exprColRefs(n *exprNode, dst []int) []int {
+	if n == nil {
+		return dst
+	}
+	if n.op == opCol {
+		dst = append(dst, n.ord)
+	}
+	dst = exprColRefs(n.l, dst)
+	return exprColRefs(n.r, dst)
+}
+
 // CompileExprKernel compiles compute expression e against env into a
 // vectorized kernel, or the invalid kernel when e has no vectorized form.
 func CompileExprKernel(env *BoundSchema, e sqlast.Expr) ExprKernel {
+	return CompileExprKernelExt(env, e, nil)
+}
+
+// CompileExprKernelExt is CompileExprKernel with an extension hook: ext maps
+// expression shapes the schema cannot resolve (cell references, cv(),
+// aggregates) to extra image ordinals the caller populates before Run. The
+// hook is consulted after constant folding and before structural lowering,
+// so an extended leaf behaves exactly like a schema column read.
+func CompileExprKernelExt(env *BoundSchema, e sqlast.Expr, ext func(sqlast.Expr) (int, bool)) ExprKernel {
 	if env == nil || e == nil {
 		return ExprKernel{}
 	}
-	c := &selCompiler{env: env}
+	c := &selCompiler{env: env, ext: ext}
 	root := compileExprNode(c, e)
 	if root == nil {
 		return ExprKernel{}
@@ -196,6 +221,14 @@ func CompileExprKernel(env *BoundSchema, e sqlast.Expr) ExprKernel {
 func compileExprNode(c *selCompiler, e sqlast.Expr) *exprNode {
 	if v, ok := foldConst(e); ok {
 		return &exprNode{op: opConst, val: v}
+	}
+	if c.ext != nil {
+		if ord, ok := c.ext(e); ok {
+			if ord+1 > c.nOrd {
+				c.nOrd = ord + 1
+			}
+			return &exprNode{op: opCol, ord: ord}
+		}
 	}
 	switch x := e.(type) {
 	case *sqlast.ColumnRef:

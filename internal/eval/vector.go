@@ -94,6 +94,10 @@ func CompileSelKernel(env *BoundSchema, e sqlast.Expr) SelKernel {
 type selCompiler struct {
 	env  *BoundSchema
 	nOrd int
+	// ext, when set, maps expression shapes the schema cannot resolve
+	// (cell references, cv(), aggregates) to extra image ordinals the
+	// caller promises to populate — the spreadsheet rule compiler's hook.
+	ext func(sqlast.Expr) (int, bool)
 }
 
 // column resolves a kernel-eligible column reference: found in the

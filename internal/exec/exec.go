@@ -71,6 +71,13 @@ type Options struct {
 	// identical bytes either way). The plan side carries the same flag in
 	// plan.Options so kernels are not even compiled when it is set.
 	DisableVectorizedExec bool
+	// DisableVectorizedRules keeps spreadsheet formula application on the
+	// per-cell path instead of batch rule kernels (ablation knob; identical
+	// bytes either way). DisableVectorizedExec implies it.
+	DisableVectorizedRules bool
+	// VecMinRows overrides the spreadsheet engine's minimum batch size;
+	// <=0 uses the engine default.
+	VecMinRows int
 	// PlanOpts is used when the executor plans subqueries itself.
 	PlanOpts *plan.Options
 	// Structs, when non-nil, lets execSpreadsheet reuse cached access

@@ -114,9 +114,12 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		UseBTreeIndex:         ex.Opts.UseBTreeIndex,
 		DisableCompiledEval:   ex.Opts.DisableCompiledEval,
 		DisableVectorizedScan: ex.Opts.DisableVectorizedExec,
-		Cols:                  inCols,
-		Prebuilt:              prebuilt,
-		OnBuilt:               onBuilt,
+		DisableVectorizedRules: ex.Opts.DisableVectorizedExec ||
+			ex.Opts.DisableVectorizedRules,
+		VecMinRows: ex.Opts.VecMinRows,
+		Cols:       inCols,
+		Prebuilt:   prebuilt,
+		OnBuilt:    onBuilt,
 	})
 	ex.bud.release(granted)
 	if prebuilt != nil {

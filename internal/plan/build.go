@@ -31,7 +31,8 @@ func Build(cat *catalog.Catalog, stmt *sqlast.SelectStmt, opts *Options) (Node, 
 	}
 	// Runs even when vectorized execution is disabled: the pass then only
 	// records vectorized=no(disabled) notes for EXPLAIN, attaching no kernels.
-	vectorizePlan(n, map[Node]bool{}, opts.DisableVectorizedExec)
+	vectorizePlan(n, map[Node]bool{}, opts.DisableVectorizedExec,
+		opts.DisableVectorizedExec || opts.DisableVectorizedRules)
 	return n, nil
 }
 

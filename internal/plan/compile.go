@@ -91,7 +91,7 @@ const (
 // schema, so EXPLAIN's annotations stay machine-independent; the executor
 // may still fall back at run time when a column's representation (mixed-kind
 // boxed values, string operands under arithmetic) has no typed vector.
-func vectorizePlan(n Node, visited map[Node]bool, disabled bool) {
+func vectorizePlan(n Node, visited map[Node]bool, disabled, rulesDisabled bool) {
 	if n == nil || visited[n] {
 		return
 	}
@@ -107,7 +107,7 @@ func vectorizePlan(n Node, visited map[Node]bool, disabled bool) {
 			}
 		}
 	case *CTERef:
-		vectorizePlan(x.Def.Plan, visited, disabled)
+		vectorizePlan(x.Def.Plan, visited, disabled, rulesDisabled)
 	case *Filter:
 		if disabled {
 			x.VecNote = vecNoDisabled
@@ -173,9 +173,15 @@ func vectorizePlan(n Node, visited map[Node]bool, disabled bool) {
 		default:
 			x.VecNote = vecNoNestedLoop
 		}
+	case *Spreadsheet:
+		// Per-rule batch-kernel decisions, compiled by the core engine (it
+		// owns the kernel-domain contract); EXPLAIN prints one note per
+		// rule line. Like the flag above, a disabled run still records why
+		// each rule would or would not vectorize.
+		x.RuleVecNotes = x.Model.RuleVecNotes(rulesDisabled)
 	}
 	for _, ch := range n.Children() {
-		vectorizePlan(ch, visited, disabled)
+		vectorizePlan(ch, visited, disabled, rulesDisabled)
 	}
 }
 

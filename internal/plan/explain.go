@@ -148,7 +148,11 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 				}
 				fmt.Fprintf(b, "%s  %s %d:\n", pad, kind, li+1)
 				for _, ri := range step {
-					fmt.Fprintf(b, "%s    %s\n", pad, m.Rules[ri].Src)
+					if ri < len(x.RuleVecNotes) {
+						fmt.Fprintf(b, "%s    %s vectorized=%s\n", pad, m.Rules[ri].Src, x.RuleVecNotes[ri])
+					} else {
+						fmt.Fprintf(b, "%s    %s\n", pad, m.Rules[ri].Src)
+					}
 				}
 			}
 		}

@@ -186,8 +186,11 @@ type Spreadsheet struct {
 	// distribution keys) removed from the node's output.
 	DropCols int
 	// Notes records optimizer decisions for EXPLAIN.
-	Notes  []string
-	schema *eval.BoundSchema
+	Notes []string
+	// RuleVecNotes records each rule's batch-kernel decision (aligned with
+	// Model.Rules), printed as vectorized= on EXPLAIN's rule lines.
+	RuleVecNotes []string
+	schema       *eval.BoundSchema
 }
 
 func (n *Scan) Schema() *eval.BoundSchema        { return n.schema }

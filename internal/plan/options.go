@@ -94,4 +94,8 @@ type Options struct {
 	// the two paths produce byte-identical results). The executor carries
 	// the same flag in exec.Options.
 	DisableVectorizedExec bool
+	// DisableVectorizedRules keeps spreadsheet formula application on the
+	// per-cell path (ablation knob; byte-identical results). Mirrored here
+	// so EXPLAIN's per-rule vectorized= notes reflect the executed path.
+	DisableVectorizedRules bool
 }

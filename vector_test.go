@@ -32,6 +32,13 @@ func vectorConfigs() []struct {
 		{"interp-parallel", sqlsheet.Config{Workers: 8, MorselSize: 16, DisableVectorizedExec: true, DisablePlanCache: true}},
 		{"vec-serial", sqlsheet.Config{Workers: 1, MorselSize: 16, DisablePlanCache: true}},
 		{"vec-parallel", sqlsheet.Config{Workers: 8, MorselSize: 16, DisablePlanCache: true}},
+		// Scan/operator kernels on, batch rule application off: isolates the
+		// rule-engine ablation from the generic vectorized executor.
+		{"rules-off-serial", sqlsheet.Config{Workers: 1, MorselSize: 16, DisableVectorizedRules: true, DisablePlanCache: true}},
+		{"rules-off-parallel", sqlsheet.Config{Workers: 8, MorselSize: 16, DisableVectorizedRules: true, DisablePlanCache: true}},
+		// Cutoff forced to 1: every partition takes the batch paths, however
+		// small, so the grid's tiny fixtures still exercise the kernels.
+		{"vec-low-cutoff", sqlsheet.Config{Workers: 1, MorselSize: 16, VecMinRows: 1, DisablePlanCache: true}},
 	}
 }
 
@@ -419,5 +426,135 @@ func TestExplainVectorizedAnnotation(t *testing.T) {
 	}
 	if strings.Contains(out, "vectorized=yes") {
 		t.Errorf("ablated plan still advertises vectorized=yes:\n%s", out)
+	}
+}
+
+// TestVectorizedRules drives the batch rule engine (formula kernels, bulk
+// frame probes, columnar writeback) against the per-cell interpreter across
+// the whole ablation grid: left-side FOR loops, UPSERT inserts, existential
+// formulas with predicate qualifiers, aggregate reads, an all-NULL measure,
+// and an ITERATE model that must stay on the row path.
+func TestVectorizedRules(t *testing.T) {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE fr (r TEXT, p TEXT, t INT, s FLOAT, u FLOAT, z FLOAT)`)
+	rows := make([][]any, 0, 2*4*30)
+	for _, r := range []string{"east", "west"} {
+		for pi, p := range []string{"tv", "vcr", "dvd", "amp"} {
+			for yr := 1980; yr < 2010; yr++ {
+				rows = append(rows, []any{r, p, yr, float64(yr-1979)*1.5 + float64(pi)*7.25, 0.0, nil})
+			}
+		}
+	}
+	if err := db.Insert("fr", rows...); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE it (t INT, s FLOAT)`)
+	rows = rows[:0]
+	for i := 0; i < 80; i++ {
+		rows = append(rows, []any{i, float64(1000 + i)})
+	}
+	if err := db.Insert("it", rows...); err != nil {
+		t.Fatal(err)
+	}
+	const head = `SELECT r, p, t, s, u, z FROM fr SPREADSHEET PBY(r) DBY (p, t) MEA (s, u, z) `
+	const tail = ` ORDER BY r, p, t`
+	checkVectorGrid(t, db, []string{
+		// Existential formulas: stars, ranges, predicate qualifiers.
+		head + `( UPDATE u[*, *] = s[cv(p), cv(t)] * 0.5 + s[cv(p), cv(t) - 1] )` + tail,
+		head + `( UPDATE u['dvd', 1990 <= t <= 2005] = s[cv(p), cv(t)] + 100,
+		          UPDATE u[p IN ('tv','vcr'), t > 1990] = s[cv(p), cv(t)] / 2 - 1 )` + tail,
+		// Left-side FOR loops: UPDATE over the whole grid, UPSERT inserting
+		// new cells that read existing ones through the bulk probe.
+		head + `( UPDATE u[FOR p IN ('tv','vcr','dvd','amp'), FOR t FROM 1980 TO 2009] = s[cv(p), cv(t)] * 1.01 + 1 )` + tail,
+		head + `( UPSERT u[FOR p IN ('tv','vcr'), FOR t FROM 2010 TO 2030] = s[cv(p), cv(t) - 30] * 2 )` + tail,
+		// Aggregate reads: a batchable broadcast (min forces the multi-scan
+		// engine) and a per-target aggregate that must fall back.
+		head + `( UPDATE u['tv', t > 2000] = s[cv(p), cv(t)] - min(s)['tv', 1980 <= t <= 1999] )` + tail,
+		head + `( UPDATE u[*, *] = avg(s)[cv(p), 1990 <= t <= 1999] )` + tail,
+		// Reads from the all-NULL measure flow NULL through the kernels.
+		head + `( UPDATE u[*, *] = z[cv(p), cv(t)] )` + tail,
+		// ITERATE models never batch; the grid still must agree.
+		`SELECT t, s FROM it SPREADSHEET DBY (t) MEA (s) ITERATE (4)
+		 ( s[0] = s[0] / 2 + s[1] * 0.001 ) ORDER BY t`,
+	})
+}
+
+// TestVectorizedRulesDictOverflow runs an existential string-measure formula
+// over a partition large enough that the frame image's dictionary overflows
+// into plain strings, exercising the bulk probe and columnar writeback on
+// the overflowed representation.
+func TestVectorizedRulesDictOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large table")
+	}
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE bigr (grp INT, id INT, u TEXT, v TEXT)`)
+	n := colstore.DictMaxEntries + 500
+	batch := make([][]any, 0, 4096)
+	for i := 0; i < n; i++ {
+		var u any
+		if i%101 == 0 {
+			u = nil
+		} else {
+			u = fmt.Sprintf("u%06d", i)
+		}
+		batch = append(batch, []any{0, i, u, "x"})
+		if len(batch) == cap(batch) || i == n-1 {
+			if err := db.Insert("bigr", batch...); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	checkVectorGrid(t, db, []string{
+		`SELECT grp, id, u, v FROM bigr
+		 SPREADSHEET PBY(grp) DBY (id) MEA (u, v)
+		 ( UPDATE v[*] = u[cv(id)] || '!' )
+		 ORDER BY id`,
+	})
+}
+
+// TestExplainVectorizedRules checks EXPLAIN's per-rule vectorized= notes:
+// batchable formulas advertise yes, fallbacks name their reason, and the
+// ablation knob rewrites yes to no(disabled) without masking real reasons.
+func TestExplainVectorizedRules(t *testing.T) {
+	db := sqlsheet.Open()
+	db.MustExec(`CREATE TABLE fe (r TEXT, p TEXT, t INT, s FLOAT, u FLOAT)`)
+	db.MustExec(`INSERT INTO fe VALUES ('w','tv',2000,1,0), ('w','tv',2001,2,0)`)
+	const q = `SELECT r, p, t, s, u FROM fe SPREADSHEET PBY(r) DBY (p, t) MEA (s, u)
+		( UPDATE u[*, *] = s[cv(p), cv(t)] * 0.5,
+		  UPDATE u[*, t > 2000] = avg(s)[cv(p), 1990 <= t <= 1999],
+		  UPDATE s['tv', 2001] = s['tv', 2000] * 2 )`
+
+	db.Configure(sqlsheet.Config{DisablePlanCache: true})
+	out, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vectorized=yes", "vectorized=no(cv-qualifier)", "vectorized=no(self-read)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN lacks %s:\n%s", want, out)
+		}
+	}
+	it, err := db.Explain(`SELECT t, s FROM fe SPREADSHEET DBY (t) MEA (s) ITERATE (2) ( s[2000] = s[2000] / 2 )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(it, "vectorized=no(iterate)") {
+		t.Errorf("ITERATE rule lacks vectorized=no(iterate):\n%s", it)
+	}
+
+	db.Configure(sqlsheet.Config{DisablePlanCache: true, DisableVectorizedRules: true})
+	out, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vectorized=no(disabled)") {
+		t.Errorf("ablated rule plan lacks vectorized=no(disabled):\n%s", out)
+	}
+	for _, want := range []string{"vectorized=no(cv-qualifier)", "vectorized=no(self-read)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablated EXPLAIN masks real fallback %s:\n%s", want, out)
+		}
 	}
 }
