@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race race-vector serve-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector bench-rules lint-hotpath
+.PHONY: build test verify vet race race-vector serve-test cluster-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector bench-rules bench-shard lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # columnar image cache and selection-pool are shared across worker
 # goroutines; race-vector is targeted so verify stays fast — full-module
 # `make race` remains the pre-merge gate for goroutine-heavy changes).
-verify: build test serve-test lint-hotpath race-vector
+verify: build test serve-test cluster-test lint-hotpath race-vector
 
 # Serving-layer gate: wire codec round-trips, fuzz seed corpus, and the
 # in-process sqlsheetd integration suite (32 concurrent sessions vs serial
@@ -26,6 +26,17 @@ verify: build test serve-test lint-hotpath race-vector
 # Also part of `make race` via ./... .
 serve-test:
 	$(GO) test ./internal/wire/ ./internal/server/
+
+# Cluster gate, run under the race detector (the scatter path is
+# goroutine-heavy: per-worker scatter goroutines, the cancel-broadcast
+# watcher, pipelined connections). Boots 2-4 in-process worker servers plus
+# a coordinator and replays the byte-identity grid (shard counts 1/2/4 ×
+# operator workers 1/4, pre- and post-DML), cancel-mid-scatter, worker
+# restart/reconnect, and concurrent distributed sessions. Part of
+# `make verify`.
+cluster-test:
+	$(GO) test -race ./internal/shard/
+	$(GO) test -race -run 'TestCluster' ./internal/server/
 
 # lint-hotpath flags direct interpreter entry points (eval.Eval / eval.EvalBool)
 # in the executor and spreadsheet engine, and per-row types.Value boxing
@@ -134,6 +145,20 @@ bench-rules:
 	$(GO) run ./cmd/benchjson -diff BENCH_vector.json -out BENCH_vector.json -fail-over 50 -merge \
 		-command "make bench-rules" \
 		-note "batch rule application: existential and FOR-loop rules, vectorized vs per-cell (DisableVectorizedRules ablation)"
+
+# Sharded-execution benchmark: one spreadsheet statement (32 partitions,
+# per-cell prefix aggregates) executed single-process vs scattered to 1 and
+# 2 worker servers (serial workers, serial coordinator — the topology is
+# the only variable). cmd/benchjson diffs against the checked-in
+# BENCH_shard.json baseline and rewrites it; -fail-over guards against the
+# distribution path silently falling back to local execution. Note the
+# workers=2 vs workers=1 ratio only shows inter-process scaling on hosts
+# with ≥2 CPUs; single-core hosts time-slice the workers and pin it at ~1×.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSpreadsheet' -benchmem ./internal/server/ | \
+	$(GO) run ./cmd/benchjson -diff BENCH_shard.json -out BENCH_shard.json -fail-over 50 -merge \
+		-command "make bench-shard" \
+		-note "sharded spreadsheet execution: local vs 1-worker vs 2-worker scatter-gather"
 
 # Serving-layer throughput: end-to-end client round-trips at 1, 8 and 64
 # concurrent sessions, serving-path cache cold vs warm. cmd/benchjson diffs

@@ -78,6 +78,9 @@ type DB struct {
 	// stmtMu is the statement-level reader/writer lock implementing the
 	// contract above: queries share it, mutations own it.
 	stmtMu sync.RWMutex
+	// dist, when non-nil, is the scatter-gather coordinator consulted for
+	// plan nodes the distribution pass approved (SetDistributor).
+	dist exec.Distributor
 }
 
 // PushStrategy re-exports the reference-pushing transform selection.
@@ -204,6 +207,11 @@ func cacheBudget(cfg Config) int64 {
 	return defaultPlanCacheBudget
 }
 
+// distFingerprintBit folds the presence of a distributor into the config
+// fingerprint: distribution annotates plan nodes (DistNote), so plans and
+// results cached with it on must not be served with it off, and vice versa.
+const distFingerprintBit = 0x9e3779b97f4a7c15
+
 // configFingerprint hashes every Config field so sessions with different
 // knobs never share cache entries (several knobs legally change result
 // bytes, e.g. MorselSize reorders float group-by merges).
@@ -237,11 +245,30 @@ func (db *DB) Configure(cfg Config) {
 	defer db.stmtMu.Unlock()
 	db.opts = cfg
 	db.cfgFP = configFingerprint(cfg)
+	if db.dist != nil {
+		db.cfgFP ^= distFingerprintBit
+	}
 	db.cache.SetBudget(cacheBudget(cfg))
 }
 
 // Options returns the current session options.
 func (db *DB) Options() Config { return db.opts }
+
+// SetDistributor installs (or, with nil, removes) a scatter-gather
+// coordinator. Plans built afterwards run the distribution pass and carry
+// distributed= annotations; executors consult d for approved nodes.
+// Distributed results are byte-identical to local ones, but the plan shape
+// differs (DistNote), so the config fingerprint changes with the setting to
+// keep cached plans and results coherent.
+func (db *DB) SetDistributor(d exec.Distributor) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.dist = d
+	db.cfgFP = configFingerprint(db.opts)
+	if d != nil {
+		db.cfgFP ^= distFingerprintBit
+	}
+}
 
 // Result is a materialized query result.
 type Result struct {
@@ -787,6 +814,7 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		DisableVectorizedExec:  o.DisableVectorizedExec,
 		DisableVectorizedRules: o.DisableVectorizedRules,
 		VecMinRows:             o.VecMinRows,
+		Dist:                   db.dist,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -804,6 +832,7 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		DisableParallelSort:    o.DisableParallelSort,
 		DisableVectorizedExec:  o.DisableVectorizedExec,
 		DisableVectorizedRules: o.DisableVectorizedRules,
+		Distributed:            db.dist != nil,
 		Exec:                   ex,
 	}
 	return ex

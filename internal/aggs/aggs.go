@@ -46,11 +46,14 @@ type Agg interface {
 	Reset()
 }
 
-// Merger is implemented by aggregates whose partial states combine: the
-// invertible (algebraic) aggregates SUM, COUNT, AVG and SLOPE. The parallel
-// group-by computes per-morsel partials and merges them in morsel order;
-// holistic aggregates without a Merge (MIN/MAX) keep the serial path, the
-// same restriction the paper applies to single-scan aggregate maintenance.
+// Merger is implemented by aggregates whose partial states combine: all six
+// built-ins, including MIN/MAX whose merge is a fold of one partial's extreme
+// into the other. The parallel group-by and the scatter-gather coordinator
+// compute per-morsel partials and merge them in morsel order; because each
+// partial accumulates its rows in input order and Merge folds states in
+// morsel order, the merged state is bit-identical to one serial scan.
+// (Merge-combinable is weaker than Invertible: MIN/MAX still have no inverse,
+// the restriction the paper applies to single-scan aggregate maintenance.)
 type Merger interface {
 	// Merge folds other — an accumulator of the same concrete type — into
 	// the receiver.
@@ -236,6 +239,25 @@ func (a *minmaxAgg) Remove(vals ...types.Value) {
 }
 
 func (a *minmaxAgg) Invertible() bool { return false }
+
+// Merge folds another partial's extreme in. The strict comparison mirrors
+// Add: on ties (e.g. int 1 vs float 1.0, which Compare orders equal) the
+// receiver's earlier value wins, exactly as a serial scan would keep the
+// first-seen extreme — so morsel-ordered merges stay bit-identical.
+func (a *minmaxAgg) Merge(other Agg) {
+	b := other.(*minmaxAgg)
+	if !b.seen {
+		return
+	}
+	if !a.seen {
+		a.seen, a.value = true, b.value
+		return
+	}
+	c := types.Compare(b.value, a.value)
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.value = b.value
+	}
+}
 
 func (a *minmaxAgg) Result() types.Value {
 	if !a.seen {

@@ -1,0 +1,217 @@
+package aggs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqlsheet/internal/types"
+)
+
+// Partial-state serialization for the scatter-gather coordinator: a worker
+// process appends each accumulator's exact state with AppendState and the
+// coordinator restores it with LoadState before Merge-folding partials in
+// morsel order. The encoding is bit-exact — float fields travel as their
+// IEEE-754 bit patterns and types.Value fields are copied verbatim (kind,
+// integer, float bits, string bytes) — so a state that crossed the wire is
+// indistinguishable from one computed in-process and merged results stay
+// byte-identical to single-process execution.
+
+// One-byte state tags, doubling as a cross-check that the coordinator
+// constructed the same accumulator type the worker serialized.
+const (
+	stateSum   = 's'
+	stateCount = 'c'
+	stateAvg   = 'a'
+	stateMinax = 'm'
+	stateSlope = 'l'
+)
+
+// AppendState appends a's exact partial state to buf and returns the
+// extended slice. It panics on an unknown concrete type (all built-ins are
+// covered; a future aggregate must add its case here to be shippable).
+func AppendState(buf []byte, a Agg) []byte {
+	switch v := a.(type) {
+	case *sumAgg:
+		buf = append(buf, stateSum)
+		buf = appendI64(buf, v.n)
+		buf = appendI64(buf, v.isum)
+		buf = appendF64(buf, v.fsum)
+		buf = appendBool(buf, v.sawFloat)
+	case *countAgg:
+		buf = append(buf, stateCount)
+		buf = appendI64(buf, v.n)
+	case *avgAgg:
+		buf = append(buf, stateAvg)
+		buf = appendI64(buf, v.n)
+		buf = appendF64(buf, v.sum)
+	case *minmaxAgg:
+		buf = append(buf, stateMinax)
+		buf = appendBool(buf, v.seen)
+		buf = appendValue(buf, v.value)
+	case *slopeAgg:
+		buf = append(buf, stateSlope)
+		buf = appendI64(buf, v.n)
+		buf = appendF64(buf, v.sx)
+		buf = appendF64(buf, v.sy)
+		buf = appendF64(buf, v.sxy)
+		buf = appendF64(buf, v.sxx)
+	default:
+		panic(fmt.Sprintf("aggs: no state serialization for %T", a))
+	}
+	return buf
+}
+
+// LoadState parses one serialized state from data into a (which must be a
+// fresh accumulator of the matching type, e.g. from New) and returns the
+// unconsumed remainder. Configuration fields the constructor owns (count's
+// star, minmax's direction) are left untouched.
+func LoadState(a Agg, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("aggs: empty state buffer")
+	}
+	tag, data := data[0], data[1:]
+	var err error
+	switch v := a.(type) {
+	case *sumAgg:
+		if tag != stateSum {
+			return nil, tagErr(tag, stateSum)
+		}
+		if v.n, data, err = takeI64(data); err != nil {
+			return nil, err
+		}
+		if v.isum, data, err = takeI64(data); err != nil {
+			return nil, err
+		}
+		if v.fsum, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+		if v.sawFloat, data, err = takeBool(data); err != nil {
+			return nil, err
+		}
+	case *countAgg:
+		if tag != stateCount {
+			return nil, tagErr(tag, stateCount)
+		}
+		if v.n, data, err = takeI64(data); err != nil {
+			return nil, err
+		}
+	case *avgAgg:
+		if tag != stateAvg {
+			return nil, tagErr(tag, stateAvg)
+		}
+		if v.n, data, err = takeI64(data); err != nil {
+			return nil, err
+		}
+		if v.sum, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+	case *minmaxAgg:
+		if tag != stateMinax {
+			return nil, tagErr(tag, stateMinax)
+		}
+		if v.seen, data, err = takeBool(data); err != nil {
+			return nil, err
+		}
+		if v.value, data, err = takeValue(data); err != nil {
+			return nil, err
+		}
+	case *slopeAgg:
+		if tag != stateSlope {
+			return nil, tagErr(tag, stateSlope)
+		}
+		if v.n, data, err = takeI64(data); err != nil {
+			return nil, err
+		}
+		if v.sx, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+		if v.sy, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+		if v.sxy, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+		if v.sxx, data, err = takeF64(data); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("aggs: no state serialization for %T", a)
+	}
+	return data, nil
+}
+
+func tagErr(got, want byte) error {
+	return fmt.Errorf("aggs: state tag %q does not match accumulator (want %q)", got, want)
+}
+
+func appendI64(buf []byte, n int64) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(n))
+}
+
+// appendF64 ships the raw IEEE-754 bits: NaN payloads, signed zeros and
+// infinities all round-trip exactly.
+func appendF64(buf []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// appendValue copies every Value field verbatim rather than switching on the
+// kind: min/max may hold any kind, and a representation-level copy can never
+// lose a bit (at the cost of a few spare bytes per state).
+func appendValue(buf []byte, v types.Value) []byte {
+	buf = append(buf, byte(v.K))
+	buf = appendI64(buf, v.I)
+	buf = appendF64(buf, v.F)
+	buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+	return append(buf, v.S...)
+}
+
+func takeI64(data []byte) (int64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("aggs: truncated state (int64)")
+	}
+	return int64(binary.BigEndian.Uint64(data)), data[8:], nil
+}
+
+func takeF64(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("aggs: truncated state (float64)")
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(data)), data[8:], nil
+}
+
+func takeBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("aggs: truncated state (bool)")
+	}
+	return data[0] != 0, data[1:], nil
+}
+
+func takeValue(data []byte) (types.Value, []byte, error) {
+	var v types.Value
+	if len(data) < 1 {
+		return v, nil, fmt.Errorf("aggs: truncated state (value kind)")
+	}
+	v.K = types.Kind(data[0])
+	data = data[1:]
+	var err error
+	if v.I, data, err = takeI64(data); err != nil {
+		return v, nil, err
+	}
+	if v.F, data, err = takeF64(data); err != nil {
+		return v, nil, err
+	}
+	n, w := binary.Uvarint(data)
+	if w <= 0 || uint64(len(data)-w) < n {
+		return v, nil, fmt.Errorf("aggs: truncated state (string)")
+	}
+	v.S = string(data[w : w+int(n)])
+	return v, data[w+int(n):], nil
+}

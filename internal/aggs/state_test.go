@@ -1,0 +1,301 @@
+package aggs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+// bitsEqual compares two values at the representation level: kinds, integer
+// payloads, exact IEEE-754 float bits (NaN ≡ NaN, +0 ≢ -0) and string bytes.
+func bitsEqual(a, b types.Value) bool {
+	return a.K == b.K && a.I == b.I &&
+		math.Float64bits(a.F) == math.Float64bits(b.F) && a.S == b.S
+}
+
+// aggCases enumerates every (name, star) accumulator configuration.
+func aggCases() []struct {
+	name string
+	star bool
+} {
+	return []struct {
+		name string
+		star bool
+	}{
+		{"sum", false}, {"count", false}, {"count", true},
+		{"avg", false}, {"min", false}, {"max", false}, {"slope", false},
+	}
+}
+
+// valueStreams builds adversarial input streams: NaN/Inf columns, all-NULL
+// columns, signed zeros, int/float ties landing in different morsels,
+// dictionary-overflow string populations (> 256 distinct values, the
+// colstore dict limit), and large random mixes.
+func valueStreams() map[string][][]types.Value {
+	rng := rand.New(rand.NewSource(42))
+	streams := map[string][][]types.Value{}
+	add := func(name string, rows ...[]types.Value) { streams[name] = rows }
+
+	add("empty")
+	add("single", []types.Value{types.NewInt(7), types.NewInt(3)})
+	add("all-null", func() [][]types.Value {
+		var rows [][]types.Value
+		for i := 0; i < 97; i++ {
+			rows = append(rows, []types.Value{types.Null, types.Null})
+		}
+		return rows
+	}()...)
+	add("nan-inf", [][]types.Value{
+		{types.NewFloat(math.NaN()), types.NewFloat(1)},
+		{types.NewFloat(math.Inf(1)), types.NewFloat(2)},
+		{types.NewFloat(math.Inf(-1)), types.NewFloat(math.NaN())},
+		{types.NewFloat(0), types.NewFloat(math.Inf(1))},
+		{types.NewFloat(math.Copysign(0, -1)), types.NewFloat(3)},
+		{types.Null, types.NewFloat(4)},
+		{types.NewFloat(math.NaN()), types.NewFloat(math.NaN())},
+	}...)
+	// An int/float tie (Compare orders 5 and 5.0 equal): first-seen must
+	// win after morsel-ordered merging, exactly as in a serial scan.
+	add("tie-across-morsels", [][]types.Value{
+		{types.NewFloat(5), types.NewInt(1)},
+		{types.NewInt(5), types.NewInt(2)},
+		{types.NewInt(5), types.NewInt(3)},
+		{types.NewFloat(5), types.NewInt(4)},
+		{types.NewInt(5), types.NewInt(5)},
+	}...)
+	add("dict-overflow", func() [][]types.Value {
+		var rows [][]types.Value
+		for i := 0; i < 600; i++ {
+			s := fmt.Sprintf("key-%04d-%s", i%311, strings.Repeat("x", i%17))
+			rows = append(rows, []types.Value{types.NewString(s), types.NewInt(int64(i))})
+		}
+		return rows
+	}()...)
+	add("random-mix", func() [][]types.Value {
+		var rows [][]types.Value
+		for i := 0; i < 1000; i++ {
+			row := make([]types.Value, 2)
+			for j := range row {
+				switch rng.Intn(6) {
+				case 0:
+					row[j] = types.Null
+				case 1:
+					row[j] = types.NewInt(rng.Int63n(2000) - 1000)
+				case 2:
+					row[j] = types.NewFloat((rng.Float64() - 0.5) * 1e6)
+				case 3:
+					row[j] = types.NewFloat(rng.Float64() * 1e-3)
+				case 4:
+					row[j] = types.NewString(fmt.Sprintf("s%d", rng.Intn(500)))
+				default:
+					row[j] = types.NewBool(rng.Intn(2) == 0)
+				}
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}()...)
+	return streams
+}
+
+const testMorsel = 128 // rows per morsel in the simulations below
+
+// shardGrid simulates the scatter-gather topology over a keyed stream: rows
+// carry a group key, each group's key is consistent-hashed to one of k
+// shards, each shard accumulates per-(morsel, group) partials over its own
+// rows in input order and round-trips them through the wire codec, and the
+// coordinator merges partials morsel by morsel in the global first-seen
+// group order. Returns the final per-group results in output row order.
+//
+// Morsel boundaries are a pure function of the input size — never of k —
+// which is the engine's byte-identity invariant: MorselSize is a documented
+// result-affecting knob for float aggregation, shard count is not.
+func shardGrid(t *testing.T, name string, star bool, keys []int, rows [][]types.Value, k int, viaCodec bool) ([]int, []types.Value) {
+	t.Helper()
+	nargs := NumArgs(name)
+	owner := func(g int) int {
+		h := fnv.New32a()
+		fmt.Fprintf(h, "g%d", g)
+		return int(h.Sum32()) % k
+	}
+	type partialKey struct{ morsel, group int }
+	partials := map[partialKey]Agg{}
+	// Per-shard accumulation, rows in global input order (each shard sees
+	// the subsequence it owns, which for a single group is contiguous per
+	// morsel — the same order a single process would use).
+	for i, row := range rows {
+		pk := partialKey{i / testMorsel, keys[i]}
+		_ = owner(keys[i]) // ownership only decides *who* computes; order is fixed
+		acc, ok := partials[pk]
+		if !ok {
+			acc, _ = New(name, star)
+			partials[pk] = acc
+		}
+		acc.Add(row[:nargs]...)
+	}
+	if viaCodec {
+		for pk, acc := range partials {
+			buf := AppendState(nil, acc)
+			restored, err := New(name, star)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rest, err := LoadState(restored, buf)
+			if err != nil {
+				t.Fatalf("LoadState: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("LoadState left %d trailing bytes", len(rest))
+			}
+			if got := AppendState(nil, restored); string(got) != string(buf) {
+				t.Fatalf("state re-encode mismatch:\n  %x\n  %x", buf, got)
+			}
+			partials[pk] = restored
+		}
+	}
+	// Coordinator merge: morsels in order, groups in global first-seen
+	// order within each morsel, Merge-folding each partial into the
+	// group's running accumulator.
+	var order []int
+	merged := map[int]Agg{}
+	nMorsels := (len(rows) + testMorsel - 1) / testMorsel
+	for m := 0; m < nMorsels; m++ {
+		var firstSeen []int
+		seen := map[int]bool{}
+		for i := m * testMorsel; i < len(rows) && i < (m+1)*testMorsel; i++ {
+			if !seen[keys[i]] {
+				seen[keys[i]] = true
+				firstSeen = append(firstSeen, keys[i])
+			}
+		}
+		for _, g := range firstSeen {
+			p := partials[partialKey{m, g}]
+			acc, ok := merged[g]
+			if !ok {
+				acc, _ = New(name, star)
+				merged[g] = acc
+				order = append(order, g)
+			}
+			acc.(Merger).Merge(p)
+		}
+	}
+	results := make([]types.Value, len(order))
+	for i, g := range order {
+		results[i] = merged[g].Result()
+	}
+	return order, results
+}
+
+// TestEveryAggregateMergeCombinable is the distribution correctness property:
+// for every aggregate, the morsel-fold reference result (1 shard, in-process
+// states) is bit-identical — exact float bits, exact output row order — to
+// computing the same per-morsel partials on 2 or 4 shards, shipping them
+// through the AppendState/LoadState wire codec, and merging morsel-ordered.
+func TestEveryAggregateMergeCombinable(t *testing.T) {
+	for sname, rows := range valueStreams() {
+		keys := make([]int, len(rows))
+		for i := range keys {
+			keys[i] = i % 7 // several groups so 2/4 shards both split the work
+		}
+		for _, c := range aggCases() {
+			t.Run(fmt.Sprintf("%s/%s_star=%v", sname, c.name, c.star), func(t *testing.T) {
+				if !Mergeable(c.name) {
+					t.Fatalf("Mergeable(%q) = false", c.name)
+				}
+				wantOrder, want := shardGrid(t, c.name, c.star, keys, rows, 1, false)
+				for _, shards := range []int{1, 2, 4} {
+					gotOrder, got := shardGrid(t, c.name, c.star, keys, rows, shards, true)
+					if len(gotOrder) != len(wantOrder) || len(got) != len(want) {
+						t.Fatalf("%d shards: %d groups, want %d", shards, len(gotOrder), len(wantOrder))
+					}
+					for i := range want {
+						if gotOrder[i] != wantOrder[i] {
+							t.Fatalf("%d shards: output row %d is group %d, want %d (order not preserved)",
+								shards, i, gotOrder[i], wantOrder[i])
+						}
+						if !bitsEqual(got[i], want[i]) {
+							t.Errorf("%d shards: group %d: got %#v, want %#v", shards, gotOrder[i], got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSerialEqualsMorselFold pins the base contract the grid test builds on:
+// on streams whose float sums are exact (integral values, NULLs, strings,
+// ties, NaN/Inf propagation), a plain serial Add loop matches the
+// morsel-partial fold bit for bit.
+func TestSerialEqualsMorselFold(t *testing.T) {
+	streams := valueStreams()
+	for _, sname := range []string{"empty", "single", "all-null", "nan-inf", "tie-across-morsels", "dict-overflow"} {
+		rows := streams[sname]
+		for _, c := range aggCases() {
+			t.Run(fmt.Sprintf("%s/%s_star=%v", sname, c.name, c.star), func(t *testing.T) {
+				serial, err := New(c.name, c.star)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nargs := NumArgs(c.name)
+				for _, row := range rows {
+					serial.Add(row[:nargs]...)
+				}
+				merged, _ := New(c.name, c.star)
+				for lo := 0; lo <= len(rows); lo += testMorsel {
+					hi := lo + testMorsel
+					if hi > len(rows) {
+						hi = len(rows)
+					}
+					part, _ := New(c.name, c.star)
+					for _, row := range rows[lo:hi] {
+						part.Add(row[:nargs]...)
+					}
+					merged.(Merger).Merge(part)
+					if hi == len(rows) {
+						break
+					}
+				}
+				if got, want := merged.Result(), serial.Result(); !bitsEqual(got, want) {
+					t.Errorf("morsel fold: got %#v, want %#v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestLoadStateErrors checks the codec rejects mismatched and truncated
+// states instead of silently corrupting an accumulator.
+func TestLoadStateErrors(t *testing.T) {
+	sum, _ := New("sum", false)
+	sum.Add(types.NewInt(1))
+	buf := AppendState(nil, sum)
+
+	cnt, _ := New("count", false)
+	if _, err := LoadState(cnt, buf); err == nil {
+		t.Error("loading a sum state into a count accumulator should fail")
+	}
+	fresh, _ := New("sum", false)
+	if _, err := LoadState(fresh, buf[:len(buf)-1]); err == nil {
+		t.Error("truncated state should fail")
+	}
+	if _, err := LoadState(fresh, nil); err == nil {
+		t.Error("empty state should fail")
+	}
+
+	mm, _ := New("max", false)
+	mm.Add(types.NewString("overflow-" + strings.Repeat("y", 300)))
+	mbuf := AppendState(nil, mm)
+	restored, _ := New("max", false)
+	if _, err := LoadState(restored, mbuf); err != nil {
+		t.Fatalf("LoadState(max string): %v", err)
+	}
+	if !bitsEqual(restored.Result(), mm.Result()) {
+		t.Error("string extreme did not round-trip")
+	}
+}

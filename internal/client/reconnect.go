@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReconnectConfig tunes a Reconnector. Zero values pick the defaults noted
+// on each field.
+type ReconnectConfig struct {
+	Addr        string        // wire-protocol address (required)
+	MetricsAddr string        // HTTP /healthz address; empty skips probing
+	MaxAttempts int           // dial attempts per Get (default 4)
+	BaseDelay   time.Duration // first backoff step (default 50ms)
+	MaxDelay    time.Duration // backoff cap (default 2s)
+	DialTimeout time.Duration // per-attempt dial deadline (default 2s)
+}
+
+// Reconnector hands out a live Client for one server address and replaces it
+// after failures: callers MarkBroken the client when a send/recv errors, and
+// the next Get probes /healthz (when configured) and redials with
+// exponential backoff. This is what lets a scatter-gather coordinator ride
+// out a worker restart instead of erroring the whole query fleet.
+type Reconnector struct {
+	cfg ReconnectConfig
+
+	mu     sync.Mutex
+	c      *Client
+	dialed bool // a dial has succeeded at least once
+
+	// Redials counts successful reconnections (not the first dial);
+	// exported via the coordinator's worker-retry metrics.
+	redials int64
+}
+
+// NewReconnector builds a Reconnector; it does not dial until the first Get.
+func NewReconnector(cfg ReconnectConfig) *Reconnector {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	return &Reconnector{cfg: cfg}
+}
+
+// Get returns the current client, dialing (with backoff) if none is live.
+// ctx bounds the whole attempt sequence.
+func (r *Reconnector) Get(ctx context.Context) (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		return r.c, nil
+	}
+	delay := r.cfg.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if delay *= 2; delay > r.cfg.MaxDelay {
+				delay = r.cfg.MaxDelay
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Probe /healthz first when we have a metrics address: a draining
+		// or still-booting worker refuses work, so don't burn a dial
+		// attempt — or hand out a session that rejects every query.
+		if r.cfg.MetricsAddr != "" {
+			if err := CheckHealth(ctx, r.cfg.MetricsAddr, r.cfg.DialTimeout); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		c, err := DialTimeout(r.cfg.Addr, r.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if r.dialed {
+			r.redials++
+		}
+		r.dialed = true
+		r.c = c
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: %s unreachable after %d attempts: %w",
+		r.cfg.Addr, r.cfg.MaxAttempts, lastErr)
+}
+
+// MarkBroken discards c so the next Get redials. A stale call (c is no
+// longer the current client) is a no-op, so several in-flight users of the
+// same broken client may all report it.
+func (r *Reconnector) MarkBroken(c *Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == c && c != nil {
+		c.Close()
+		r.c = nil
+	}
+}
+
+// Redials returns how many times this address has been successfully
+// re-dialed after a failure.
+func (r *Reconnector) Redials() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.redials
+}
+
+// Close discards the current client, if any.
+func (r *Reconnector) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// CheckHealth probes a sqlsheetd metrics endpoint's /healthz: nil means the
+// server is up and accepting work (a draining server answers 503).
+func CheckHealth(ctx context.Context, metricsAddr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+metricsAddr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s/healthz: %s", metricsAddr, resp.Status)
+	}
+	return nil
+}

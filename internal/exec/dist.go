@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"sqlsheet/internal/aggs"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/types"
+)
+
+// Distributor is the scatter-gather coordinator's hook into the executor
+// (implemented by internal/shard; installed via DB.SetDistributor). The
+// executor consults it only for nodes the planner marked distributable
+// (DistNote == plan.DistYes) and only for uncorrelated evaluations; the
+// implementation may still decline at run time (input too small, workers
+// unreachable, rows not page-encodable), in which case handled is false and
+// the executor falls back to local execution. When handled, the returned
+// rows must be byte-identical to what the local path would produce.
+type Distributor interface {
+	// DistributeSheet evaluates a spreadsheet node's model over the already
+	// materialized working rows. buckets is the coordinator-side bucket
+	// count — the merge must reassemble partitions in local bucket/frame
+	// order so row order matches a single-process run.
+	DistributeSheet(ex *Executor, n *plan.Spreadsheet, inRows []types.Row, buckets int) (rows []types.Row, handled bool, err error)
+	// DistributeGroupBy evaluates a group-by over the already executed
+	// input. The merge must fold per-morsel partials in morsel order
+	// (ex.MorselSpans) to stay bit-identical to the local morsel path.
+	DistributeGroupBy(ex *Executor, n *plan.GroupBy, in *Result) (rows []types.Row, handled bool, err error)
+}
+
+// MorselSpans returns the operator morsel boundaries ([lo, hi) row spans, in
+// order) the local group-by would use over n input rows. Boundaries are a
+// pure function of input size and MorselSize — never of worker or shard
+// count — which is what makes per-morsel partial merging byte-identical.
+func (ex *Executor) MorselSpans(n int) [][2]int {
+	ms := makeMorsels(n, ex.morselSize())
+	spans := make([][2]int, len(ms))
+	for i, m := range ms {
+		spans[i] = [2]int{m.Lo, m.Hi}
+	}
+	return spans
+}
+
+// GroupPartial is one aggregation partial: groups in first-seen order, each
+// with its key values and accumulator states. Workers compute partials per
+// morsel (ComputeGroupPartial), ship states through aggs.AppendState, and
+// the coordinator reassembles and merges them with MergeGroupPartials.
+type GroupPartial struct {
+	Order []string    // encoded grouping key (types.AppendKey) per group
+	Keys  []types.Row // first-seen key values per group
+	Accs  [][]aggs.Agg
+}
+
+// ComputeGroupPartial aggregates rows [lo, hi) of in for node n into a fresh
+// partial. It uses the row-at-a-time path, whose accumulator states are
+// bit-identical to the vectorized path's (the aggs batch contract).
+func (ex *Executor) ComputeGroupPartial(n *plan.GroupBy, in *Result, lo, hi int) (*GroupPartial, error) {
+	acc := newGroupAcc()
+	ctx := ex.ctx(in.Schema, nil, nil)
+	if err := acc.addRows(n, ctx, in, nil, lo, hi); err != nil {
+		return nil, err
+	}
+	p := &GroupPartial{
+		Order: acc.order,
+		Keys:  make([]types.Row, len(acc.order)),
+		Accs:  make([][]aggs.Agg, len(acc.order)),
+	}
+	for i, gk := range acc.order {
+		g := acc.groups[gk]
+		p.Keys[i] = g.keys
+		p.Accs[i] = g.accs
+	}
+	return p, nil
+}
+
+// NewGroupAggs constructs fresh accumulators for n's aggregate list, in
+// spec order — the receptacles for aggs.LoadState on the coordinator.
+func NewGroupAggs(n *plan.GroupBy) ([]aggs.Agg, error) {
+	g, err := newGroup(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return g.accs, nil
+}
+
+// MergeGroupPartials folds partials in slice order (the coordinator passes
+// one reassembled partial per morsel, in morsel order) and renders the final
+// rows. The loop replicates execGroupBy's local merge exactly: a group's
+// first-seen partial state is adopted wholesale, later partials are
+// Merge-folded into it, and output order is global first-seen order. The
+// empty-input global-aggregation rule (one row of fresh accumulator results
+// when there are no grouping keys) also applies here.
+func MergeGroupPartials(n *plan.GroupBy, partials []*GroupPartial) ([]types.Row, error) {
+	global := newGroupAcc()
+	for _, p := range partials {
+		for i, gk := range p.Order {
+			g := global.groups[gk]
+			if g == nil {
+				global.groups[gk] = &group{keys: p.Keys[i], accs: p.Accs[i]}
+				global.order = append(global.order, gk)
+				continue
+			}
+			for j := range g.accs {
+				g.accs[j].(aggs.Merger).Merge(p.Accs[i][j])
+			}
+		}
+	}
+	return global.rows(n)
+}

@@ -84,6 +84,11 @@ type Options struct {
 	// structures for the plan's spreadsheet nodes and publish freshly
 	// built ones. Set by the DB layer when executing a cached plan.
 	Structs StructureCache
+	// Dist, when non-nil, is the scatter-gather coordinator consulted for
+	// plan nodes the distribution pass marked distributable. Results are
+	// byte-identical to local execution (see Distributor); a nil or
+	// declining distributor means everything runs in this process.
+	Dist Distributor
 }
 
 // Result is a materialized relation. Img/RowIdx/ColMap, when set, record

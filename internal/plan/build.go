@@ -33,6 +33,9 @@ func Build(cat *catalog.Catalog, stmt *sqlast.SelectStmt, opts *Options) (Node, 
 	// records vectorized=no(disabled) notes for EXPLAIN, attaching no kernels.
 	vectorizePlan(n, map[Node]bool{}, opts.DisableVectorizedExec,
 		opts.DisableVectorizedExec || opts.DisableVectorizedRules)
+	if opts.Distributed {
+		distributePlan(n, map[Node]bool{})
+	}
 	return n, nil
 }
 

@@ -79,10 +79,10 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		for i, a := range x.Aggs {
 			aggsS[i] = a.Call.String()
 		}
-		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s] compiled=%s vectorized=%s\n", pad,
+		fmt.Fprintf(b, "%sGroupBy keys=[%s] aggs=[%s] compiled=%s vectorized=%s%s\n", pad,
 			strings.Join(keys, ", "), strings.Join(aggsS, ", "),
 			yesNo(len(x.KeysC) == len(x.Keys) && allValid(x.KeysC)),
-			vecNote(x.VecNote, false))
+			vecNote(x.VecNote, false), distNote(x.DistNote))
 		explainNode(b, x.Input, depth+1)
 	case *Union:
 		all := ""
@@ -135,6 +135,7 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		if m.Iterate != nil {
 			fmt.Fprintf(b, " ITERATE(%d)", m.Iterate.N)
 		}
+		b.WriteString(distNote(x.DistNote))
 		b.WriteByte('\n')
 		for _, note := range x.Notes {
 			fmt.Fprintf(b, "%s  * %s\n", pad, note)
@@ -181,6 +182,16 @@ func vecNote(note string, valid bool) string {
 		return note
 	}
 	return yesNo(valid)
+}
+
+// distNote renders a node's distributed= annotation ("yes" / "no(reason)").
+// Empty when no distributor is configured, so single-process EXPLAIN output
+// is unchanged.
+func distNote(note string) string {
+	if note == "" {
+		return ""
+	}
+	return " distributed=" + note
 }
 
 func allValid(cs []eval.CompiledExpr) bool {

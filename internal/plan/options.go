@@ -98,4 +98,10 @@ type Options struct {
 	// per-cell path (ablation knob; byte-identical results). Mirrored here
 	// so EXPLAIN's per-rule vectorized= notes reflect the executed path.
 	DisableVectorizedRules bool
+	// Distributed runs the distribution pass: spreadsheet and group-by
+	// nodes get a DistNote verdict ("yes" / "no(reason)", printed as
+	// distributed= by EXPLAIN) deciding whether the executor may hand them
+	// to the scatter-gather coordinator. Set by the DB layer when a
+	// distributor is installed; results are byte-identical either way.
+	Distributed bool
 }

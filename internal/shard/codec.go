@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqlsheet/internal/colstore"
+	"sqlsheet/internal/types"
+)
+
+// Subplan envelope and partial-result encodings. The envelope travels in a
+// SUBPLAN request frame; partials come back as PART frames. Everything is
+// length-prefixed binary: input rows ship as colstore pages (the codec is
+// lossless down to float bits and dictionary overflow), aggregate states
+// ship as aggs.AppendState bytes, so a round trip never perturbs a value.
+
+// Envelope kinds.
+const (
+	KindSheet = 1 // spreadsheet partition batch: PARTs are result-row pages
+	KindGroup = 2 // group-by morsel runs: PARTs are per-run partials
+)
+
+// pageRows is the row-chunk size for encoding shipped rows into colstore
+// pages. Purely a framing choice — it never affects results.
+const pageRows = 4096
+
+// MorselRun addresses a contiguous stretch of shipped rows that belongs to
+// one global operator morsel: the worker computes one aggregation partial
+// per run, and the coordinator reassembles runs into whole-morsel partials
+// so the merge replays the local morsel fold exactly.
+type MorselRun struct {
+	Morsel int // global morsel index on the coordinator
+	Count  int // number of consecutive shipped rows in this run
+}
+
+// Envelope is one decoded subplan request.
+type Envelope struct {
+	Kind int
+	// Stmt is the synthesized carrier statement the worker compiles
+	// (see synth.go); Cols are the shipped schema's column names.
+	Stmt string
+	Cols []string
+	// Pages hold the input rows, in shipped order, as colstore pages.
+	Pages [][]byte
+	// Group-only: expected key/aggregate counts (validated against the
+	// worker's plan so a synthesis mismatch fails loudly) and the morsel
+	// runs partitioning the shipped rows.
+	NKeys, NAggs int
+	Runs         []MorselRun
+}
+
+// EncodeEnvelope serializes e.
+func EncodeEnvelope(e *Envelope) []byte {
+	buf := []byte{byte(e.Kind)}
+	buf = appendString(buf, e.Stmt)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Cols)))
+	for _, c := range e.Cols {
+		buf = appendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.Pages)))
+	for _, p := range e.Pages {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	if e.Kind == KindGroup {
+		buf = binary.AppendUvarint(buf, uint64(e.NKeys))
+		buf = binary.AppendUvarint(buf, uint64(e.NAggs))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Runs)))
+		for _, r := range e.Runs {
+			buf = binary.AppendUvarint(buf, uint64(r.Morsel))
+			buf = binary.AppendUvarint(buf, uint64(r.Count))
+		}
+	}
+	return buf
+}
+
+// DecodeEnvelope parses a subplan envelope.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("shard: empty envelope")
+	}
+	e := &Envelope{Kind: int(data[0])}
+	data = data[1:]
+	if e.Kind != KindSheet && e.Kind != KindGroup {
+		return nil, fmt.Errorf("shard: unknown envelope kind %d", e.Kind)
+	}
+	var err error
+	if e.Stmt, data, err = takeString(data); err != nil {
+		return nil, err
+	}
+	ncols, data, err := takeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	e.Cols = make([]string, ncols)
+	for i := range e.Cols {
+		if e.Cols[i], data, err = takeString(data); err != nil {
+			return nil, err
+		}
+	}
+	npages, data, err := takeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	e.Pages = make([][]byte, 0, npages)
+	for i := 0; i < npages; i++ {
+		n, rest, err := takeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		if n > len(rest) {
+			return nil, fmt.Errorf("shard: truncated page")
+		}
+		e.Pages = append(e.Pages, rest[:n])
+		data = rest[n:]
+	}
+	if e.Kind == KindGroup {
+		if e.NKeys, data, err = takeUvarint(data); err != nil {
+			return nil, err
+		}
+		if e.NAggs, data, err = takeUvarint(data); err != nil {
+			return nil, err
+		}
+		nruns, rest, err := takeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		e.Runs = make([]MorselRun, nruns)
+		for i := range e.Runs {
+			if e.Runs[i].Morsel, data, err = takeUvarint(data); err != nil {
+				return nil, err
+			}
+			if e.Runs[i].Count, data, err = takeUvarint(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing envelope bytes", len(data))
+	}
+	return e, nil
+}
+
+// EncodeRowPages chunks rows into colstore pages. ok is false when a row's
+// arity differs from ncols (the page codec cannot represent ragged rows) —
+// the caller falls back to local execution.
+func EncodeRowPages(rows []types.Row, ncols int) (pages [][]byte, ok bool) {
+	for lo := 0; lo < len(rows); lo += pageRows {
+		hi := lo + pageRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		page, ok := colstore.AppendPage(nil, ncols, rows[lo:hi])
+		if !ok {
+			return nil, false
+		}
+		pages = append(pages, page)
+	}
+	return pages, true
+}
+
+// DecodeRowPages reassembles the rows shipped as pages.
+func DecodeRowPages(pages [][]byte) ([]types.Row, error) {
+	var rows []types.Row
+	for _, p := range pages {
+		rs, err := colstore.DecodePage(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// PartGroup is one group inside a morsel-run partial: its first-seen key
+// values and one aggs.AppendState blob per aggregate.
+type PartGroup struct {
+	Keys   []types.Value
+	States [][]byte
+}
+
+// GroupPart is one PART frame of a group subplan: the worker's aggregation
+// partial over its rows of one global morsel.
+type GroupPart struct {
+	Morsel int
+	Groups []PartGroup
+}
+
+// EncodeGroupPart serializes one morsel-run partial.
+func EncodeGroupPart(p *GroupPart) []byte {
+	buf := binary.AppendUvarint(nil, uint64(p.Morsel))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Groups)))
+	for _, g := range p.Groups {
+		buf = binary.AppendUvarint(buf, uint64(len(g.Keys)))
+		for _, v := range g.Keys {
+			buf = appendValue(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(g.States)))
+		for _, s := range g.States {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// DecodeGroupPart parses one morsel-run partial.
+func DecodeGroupPart(data []byte) (*GroupPart, error) {
+	p := &GroupPart{}
+	var err error
+	if p.Morsel, data, err = takeUvarint(data); err != nil {
+		return nil, err
+	}
+	ngroups, data, err := takeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	p.Groups = make([]PartGroup, ngroups)
+	for i := range p.Groups {
+		nkeys, rest, err := takeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		p.Groups[i].Keys = make([]types.Value, nkeys)
+		for k := range p.Groups[i].Keys {
+			if p.Groups[i].Keys[k], data, err = takeValue(data); err != nil {
+				return nil, err
+			}
+		}
+		nstates, rest2, err := takeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest2
+		p.Groups[i].States = make([][]byte, nstates)
+		for s := range p.Groups[i].States {
+			n, rest3, err := takeUvarint(data)
+			if err != nil {
+				return nil, err
+			}
+			if n > len(rest3) {
+				return nil, fmt.Errorf("shard: truncated aggregate state")
+			}
+			p.Groups[i].States[s] = rest3[:n]
+			data = rest3[n:]
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing partial bytes", len(data))
+	}
+	return p, nil
+}
+
+// appendValue copies a Value's representation verbatim — kind, integer,
+// float bits and string — so a round trip reproduces the exact in-memory
+// value, including NaN payloads and numeric-kind distinctions.
+func appendValue(buf []byte, v types.Value) []byte {
+	buf = append(buf, byte(v.K))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(v.I))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F))
+	return appendString(buf, v.S)
+}
+
+func takeValue(data []byte) (types.Value, []byte, error) {
+	var v types.Value
+	if len(data) < 17 {
+		return v, nil, fmt.Errorf("shard: truncated value")
+	}
+	v.K = types.Kind(data[0])
+	v.I = int64(binary.BigEndian.Uint64(data[1:9]))
+	v.F = math.Float64frombits(binary.BigEndian.Uint64(data[9:17]))
+	s, rest, err := takeString(data[17:])
+	if err != nil {
+		return v, nil, err
+	}
+	v.S = s
+	return v, rest, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(data []byte) (string, []byte, error) {
+	n, rest, err := takeUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > len(rest) {
+		return "", nil, fmt.Errorf("shard: truncated string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func takeUvarint(data []byte) (int, []byte, error) {
+	u, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("shard: bad uvarint")
+	}
+	if u > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("shard: uvarint out of range")
+	}
+	return int(u), data[n:], nil
+}

@@ -1,0 +1,606 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlsheet/internal/aggs"
+	"sqlsheet/internal/client"
+	"sqlsheet/internal/core"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/exec"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+	"sqlsheet/internal/wire"
+)
+
+// WorkerAddr names one worker process: its wire-protocol address plus an
+// optional metrics address used for /healthz probing before redials.
+type WorkerAddr struct {
+	Addr        string
+	MetricsAddr string
+}
+
+// Config tunes a Coordinator. Zero values pick the defaults noted per field.
+type Config struct {
+	Workers []WorkerAddr
+	// MinRows is the runtime distribution threshold: below it scatter
+	// overhead dominates and the node runs locally (default 256).
+	MinRows int
+	// Retries is how many times a subplan is re-sent on a fresh connection
+	// after a transport error before the coordinator falls back to local
+	// execution (default 1).
+	Retries int
+	// Vnodes is the consistent-hash virtual-node count per worker
+	// (default 64).
+	Vnodes int
+	// CancelTimeout bounds each CANCEL control round trip (default 2s).
+	CancelTimeout time.Duration
+	// DialTimeout is the per-attempt worker dial deadline (default 2s).
+	DialTimeout time.Duration
+}
+
+// Coordinator is the scatter-gather side of distributed execution. It
+// implements exec.Distributor: the executor hands it plan nodes the
+// distribution pass approved, it consistent-hashes PARTITION BY values (or
+// grouping keys) across the configured workers, ships synthesized subplans,
+// and merges the streamed partials back into the exact rows a
+// single-process run would produce. Transport failures degrade to local
+// execution (handled=false); server-side errors — including CANCELED after
+// a context-triggered broadcast — propagate.
+type Coordinator struct {
+	cfg   Config
+	ring  *Ring
+	recs  []*client.Reconnector
+	subMu []sync.Mutex // per worker: one subplan round trip at a time
+	met   Metrics
+	nonce string
+	seq   atomic.Int64
+}
+
+// errWorkerDown marks a transport-level scatter failure: the caller falls
+// back to local execution instead of erroring the query.
+var errWorkerDown = errors.New("shard: worker unreachable")
+
+// New builds a coordinator over cfg.Workers. It does not dial until the
+// first distributed node.
+func New(cfg Config) *Coordinator {
+	if cfg.MinRows <= 0 {
+		cfg.MinRows = 256
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.CancelTimeout <= 0 {
+		cfg.CancelTimeout = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		ring:  NewRing(len(cfg.Workers), cfg.Vnodes),
+		recs:  make([]*client.Reconnector, len(cfg.Workers)),
+		subMu: make([]sync.Mutex, len(cfg.Workers)),
+		nonce: fmt.Sprintf("%d.%d", os.Getpid(), time.Now().UnixNano()),
+	}
+	for i, w := range cfg.Workers {
+		c.recs[i] = client.NewReconnector(client.ReconnectConfig{
+			Addr:        w.Addr,
+			MetricsAddr: w.MetricsAddr,
+			DialTimeout: cfg.DialTimeout,
+		})
+	}
+	return c
+}
+
+// Close drops all worker connections.
+func (c *Coordinator) Close() {
+	for _, r := range c.recs {
+		r.Close()
+	}
+}
+
+// Metrics exposes the coordinator's counters (for tests and benchmarks).
+func (c *Coordinator) Metrics() *Metrics { return &c.met }
+
+// Snapshot materializes the counters plus per-worker connection health for
+// the server's /metrics endpoint.
+func (c *Coordinator) Snapshot() Snapshot {
+	s := c.met.snapshot()
+	for i, w := range c.cfg.Workers {
+		s.Workers = append(s.Workers, WorkerSnapshot{Addr: w.Addr, Redials: c.recs[i].Redials()})
+	}
+	return s
+}
+
+// DistributeSheet scatters a spreadsheet node's partitions across workers
+// and reassembles the results in the local structure's order: bucket index
+// ascending, then per-bucket first-seen key order, with each partition's
+// rows exactly as its owning worker produced them (the worker rebuilds the
+// same frame from the same rows, so within-partition order is already
+// identical).
+func (c *Coordinator) DistributeSheet(ex *exec.Executor, n *plan.Spreadsheet, inRows []types.Row, buckets int) ([]types.Row, bool, error) {
+	if len(c.cfg.Workers) == 0 || len(inRows) < c.cfg.MinRows || buckets < 1 {
+		return nil, false, nil
+	}
+	m := n.Model
+	ncols := len(m.Schema.Cols)
+	cols := make([]string, ncols)
+	for i, col := range m.Schema.Cols {
+		cols[i] = col.Name
+	}
+	// Scatter scan: place each partition key on its ring owner and record
+	// its merge rank — (local bucket, first-seen sequence within bucket) —
+	// which is exactly where the local build would put its frame.
+	type keyInfo struct{ owner, bucket, seq int }
+	infos := map[string]*keyInfo{}
+	bucketSeq := make([]int, buckets)
+	perWorker := make([][]types.Row, len(c.cfg.Workers))
+	var keyBuf []byte
+	for _, row := range inRows {
+		if len(row) < m.NPby {
+			return nil, false, nil
+		}
+		keyBuf = appendPbyKey(keyBuf[:0], row, m.NPby)
+		ki := infos[string(keyBuf)]
+		if ki == nil {
+			b := core.PartitionBucket(keyBuf, buckets)
+			ki = &keyInfo{owner: c.ring.Owner(keyBuf), bucket: b, seq: bucketSeq[b]}
+			bucketSeq[b]++
+			infos[string(keyBuf)] = ki
+		}
+		perWorker[ki.owner] = append(perWorker[ki.owner], row)
+	}
+	stmt := SheetStatement(m)
+	envs := make([][]byte, len(c.cfg.Workers))
+	for w, wrows := range perWorker {
+		if len(wrows) == 0 {
+			continue
+		}
+		pages, ok := EncodeRowPages(wrows, ncols)
+		if !ok {
+			c.met.Fallbacks.Add(1)
+			return nil, false, nil
+		}
+		envs[w] = EncodeEnvelope(&Envelope{Kind: KindSheet, Stmt: stmt, Cols: cols, Pages: pages})
+	}
+	chunks, err := c.scatter(ex.Opts.Ctx, envs)
+	if err != nil {
+		if errors.Is(err, errWorkerDown) {
+			c.met.Fallbacks.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	// Regroup each worker's output into per-partition runs (a partition's
+	// rows are contiguous in worker output — one frame each) and sort the
+	// runs by merge rank.
+	type runT struct {
+		bucket, seq int
+		rows        []types.Row
+	}
+	var runs []*runT
+	for _, wchunks := range chunks {
+		wrows, err := DecodeRowPages(wchunks)
+		if err != nil {
+			return nil, false, err
+		}
+		var cur *runT
+		var curKey string
+		for _, row := range wrows {
+			if len(row) < m.NPby {
+				return nil, false, fmt.Errorf("shard: short worker result row")
+			}
+			keyBuf = appendPbyKey(keyBuf[:0], row, m.NPby)
+			if cur == nil || curKey != string(keyBuf) {
+				ki := infos[string(keyBuf)]
+				if ki == nil {
+					return nil, false, fmt.Errorf("shard: worker returned unknown partition key")
+				}
+				cur = &runT{bucket: ki.bucket, seq: ki.seq}
+				curKey = string(keyBuf)
+				runs = append(runs, cur)
+			}
+			cur.rows = append(cur.rows, row)
+		}
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].bucket != runs[j].bucket {
+			return runs[i].bucket < runs[j].bucket
+		}
+		return runs[i].seq < runs[j].seq
+	})
+	out := make([]types.Row, 0, len(inRows))
+	for _, r := range runs {
+		out = append(out, r.rows...)
+	}
+	c.met.SheetSubplans.Add(1)
+	return out, true, nil
+}
+
+// DistributeGroupBy scatters a group-by's input by grouping key (a key's
+// rows live wholly on one worker, in input order), has each worker compute
+// one aggregation partial per global operator morsel it holds rows of, and
+// reassembles whole-morsel partials merged in morsel order — replaying the
+// local morsel fold bit for bit.
+func (c *Coordinator) DistributeGroupBy(ex *exec.Executor, n *plan.GroupBy, in *exec.Result) ([]types.Row, bool, error) {
+	rows := in.Rows
+	if len(c.cfg.Workers) == 0 || len(rows) < c.cfg.MinRows {
+		return nil, false, nil
+	}
+	env := in.Schema
+	ords := make([]int, len(n.Keys))
+	for i, k := range n.Keys {
+		ord, isCol := eval.PlainOrdinal(env, k)
+		if !isCol {
+			return nil, false, nil
+		}
+		ords[i] = ord
+	}
+	stmt, ok := GroupStatement(n, env)
+	if !ok {
+		return nil, false, nil
+	}
+	cols, ok := shippedNames(env, n)
+	if !ok {
+		return nil, false, nil
+	}
+	spans := ex.MorselSpans(len(rows))
+	if len(spans) == 0 {
+		return nil, false, nil
+	}
+	nw := len(c.cfg.Workers)
+	perWorker := make([][]types.Row, nw)
+	runsW := make([][]MorselRun, nw)
+	owners := map[string]int{}
+	morselOrder := make([][]string, len(spans))
+	cnt := make([]int, nw)
+	var keyBuf []byte
+	for mi, sp := range spans {
+		for w := range cnt {
+			cnt[w] = 0
+		}
+		seen := map[string]bool{}
+		for r := sp[0]; r < sp[1]; r++ {
+			row := rows[r]
+			keyBuf = keyBuf[:0]
+			for _, o := range ords {
+				keyBuf = types.AppendKey(keyBuf, row[o])
+			}
+			ks := string(keyBuf)
+			w, okw := owners[ks]
+			if !okw {
+				w = c.ring.Owner(keyBuf)
+				owners[ks] = w
+			}
+			if !seen[ks] {
+				seen[ks] = true
+				morselOrder[mi] = append(morselOrder[mi], ks)
+			}
+			perWorker[w] = append(perWorker[w], row)
+			cnt[w]++
+		}
+		for w, k := range cnt {
+			if k > 0 {
+				runsW[w] = append(runsW[w], MorselRun{Morsel: mi, Count: k})
+			}
+		}
+	}
+	envs := make([][]byte, nw)
+	for w := range perWorker {
+		if len(perWorker[w]) == 0 {
+			continue
+		}
+		pages, ok := EncodeRowPages(perWorker[w], len(env.Cols))
+		if !ok {
+			c.met.Fallbacks.Add(1)
+			return nil, false, nil
+		}
+		envs[w] = EncodeEnvelope(&Envelope{
+			Kind: KindGroup, Stmt: stmt, Cols: cols, Pages: pages,
+			NKeys: len(n.Keys), NAggs: len(n.Aggs), Runs: runsW[w],
+		})
+	}
+	chunks, err := c.scatter(ex.Opts.Ctx, envs)
+	if err != nil {
+		if errors.Is(err, errWorkerDown) {
+			c.met.Fallbacks.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	// Index every worker's run partials by (morsel, encoded group key).
+	partIdx := make([]map[int]map[string]*PartGroup, nw)
+	for w, wchunks := range chunks {
+		if len(wchunks) == 0 {
+			continue
+		}
+		partIdx[w] = map[int]map[string]*PartGroup{}
+		for _, chunk := range wchunks {
+			gp, err := DecodeGroupPart(chunk)
+			if err != nil {
+				return nil, false, err
+			}
+			idx := make(map[string]*PartGroup, len(gp.Groups))
+			for gi := range gp.Groups {
+				g := &gp.Groups[gi]
+				keyBuf = keyBuf[:0]
+				for _, v := range g.Keys {
+					keyBuf = types.AppendKey(keyBuf, v)
+				}
+				idx[string(keyBuf)] = g
+			}
+			partIdx[w][gp.Morsel] = idx
+		}
+	}
+	// Reassemble one whole-morsel partial per morsel: groups in the global
+	// first-seen order the local fold would have seen, states loaded from
+	// the owning worker.
+	partials := make([]*exec.GroupPartial, 0, len(spans))
+	for mi := range spans {
+		order := morselOrder[mi]
+		p := &exec.GroupPartial{
+			Order: order,
+			Keys:  make([]types.Row, len(order)),
+			Accs:  make([][]aggs.Agg, len(order)),
+		}
+		for gi, ks := range order {
+			w := owners[ks]
+			var pg *PartGroup
+			if partIdx[w] != nil {
+				pg = partIdx[w][mi][ks]
+			}
+			if pg == nil {
+				return nil, false, fmt.Errorf("shard: worker %d missing partial for morsel %d", w, mi)
+			}
+			accs, err := exec.NewGroupAggs(n)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(pg.States) != len(accs) {
+				return nil, false, fmt.Errorf("shard: partial has %d states, want %d", len(pg.States), len(accs))
+			}
+			for j := range accs {
+				if _, err := aggs.LoadState(accs[j], pg.States[j]); err != nil {
+					return nil, false, err
+				}
+			}
+			p.Keys[gi] = pg.Keys
+			p.Accs[gi] = accs
+		}
+		partials = append(partials, p)
+	}
+	out, err := exec.MergeGroupPartials(n, partials)
+	if err != nil {
+		return nil, false, err
+	}
+	c.met.GroupSubplans.Add(1)
+	return out, true, nil
+}
+
+// scatter ships one envelope per worker (nil entries skipped) and collects
+// each worker's PART chunks. A context cancellation broadcasts CANCEL to
+// every in-flight subplan; transport failures past the retry budget return
+// errWorkerDown (callers fall back to local execution); worker-side errors
+// propagate.
+func (c *Coordinator) scatter(ctx context.Context, envs [][]byte) ([][][]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type slot struct {
+		chunks [][]byte
+		err    error
+	}
+	slots := make([]slot, len(envs))
+	inflight := &inflightSet{ids: map[string]int{}}
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if ctx.Done() != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				for id, w := range inflight.cancelSnapshot() {
+					c.met.Cancels.Add(1)
+					client.Cancel(c.cfg.Workers[w].Addr, id, c.cfg.CancelTimeout)
+				}
+			case <-watchDone:
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w, env := range envs {
+		if env == nil {
+			continue
+		}
+		c.met.ScatterFanout.Add(1)
+		wg.Add(1)
+		go func(w int, env []byte) {
+			defer wg.Done()
+			slots[w].chunks, slots[w].err = c.runSubplan(ctx, w, env, inflight)
+		}(w, env)
+	}
+	t0 := time.Now()
+	wg.Wait()
+	c.met.MergeWaitNS.Add(time.Since(t0).Nanoseconds())
+	close(watchDone)
+	watchWG.Wait()
+	out := make([][][]byte, len(envs))
+	var firstErr error
+	down := false
+	for w := range slots {
+		switch {
+		case slots[w].err == nil:
+			out[w] = slots[w].chunks
+		case errors.Is(slots[w].err, errWorkerDown):
+			down = true
+		case firstErr == nil:
+			firstErr = slots[w].err
+		}
+	}
+	if firstErr != nil {
+		// Prefer the caller's cancellation error over the worker's CANCELED
+		// echo so the statement unwinds with the context's error, as local
+		// execution would.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, firstErr
+	}
+	if down {
+		return nil, errWorkerDown
+	}
+	return out, nil
+}
+
+// runSubplan performs one worker's subplan round trip, redialing and
+// resending after transport errors up to the retry budget.
+func (c *Coordinator) runSubplan(ctx context.Context, w int, env []byte, inflight *inflightSet) ([][]byte, error) {
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.met.WorkerRetries.Add(1)
+		}
+		cl, err := c.recs[w].Get(ctx)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			// Get already burned its own dial/backoff budget.
+			return nil, fmt.Errorf("%w: %v", errWorkerDown, err)
+		}
+		id := c.nextID()
+		if !inflight.add(id, w) {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, context.Canceled
+		}
+		var chunks [][]byte
+		c.subMu[w].Lock()
+		_, err = cl.Subplan(id, env, func(chunk []byte) error {
+			c.met.PartialBytes.Add(int64(len(chunk)))
+			chunks = append(chunks, chunk)
+			return nil
+		})
+		c.subMu[w].Unlock()
+		inflight.remove(id)
+		if err == nil {
+			return chunks, nil
+		}
+		var werr *wire.Error
+		if errors.As(err, &werr) {
+			// The worker executed and failed (or was canceled): not a
+			// transport problem, don't retry.
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		c.recs[w].MarkBroken(cl)
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts", errWorkerDown, c.cfg.Workers[w].Addr, c.cfg.Retries+1)
+}
+
+func (c *Coordinator) nextID() string {
+	return fmt.Sprintf("sp-%s-%d", c.nonce, c.seq.Add(1))
+}
+
+// inflightSet tracks in-flight subplan ids for the cancel broadcast. Once
+// cancelSnapshot has run, add refuses new registrations so a racing send
+// cannot slip past the broadcast.
+type inflightSet struct {
+	mu       sync.Mutex
+	ids      map[string]int
+	canceled bool
+}
+
+func (s *inflightSet) add(id string, w int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.canceled {
+		return false
+	}
+	s.ids[id] = w
+	return true
+}
+
+func (s *inflightSet) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ids, id)
+}
+
+func (s *inflightSet) cancelSnapshot() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.canceled = true
+	out := make(map[string]int, len(s.ids))
+	for id, w := range s.ids {
+		out[id] = w
+	}
+	return out
+}
+
+// appendPbyKey encodes a row's PARTITION BY prefix with the engine's key
+// codec — the same bytes the partition build hashes.
+func appendPbyKey(buf []byte, row types.Row, npby int) []byte {
+	for p := 0; p < npby; p++ {
+		buf = types.AppendKey(buf, row[p])
+	}
+	return buf
+}
+
+// shippedNames picks the column names for a group subplan's scratch schema:
+// referenced columns (keys, aggregate arguments) keep their — unique, per
+// the distribution pass — names; unreferenced duplicates or anonymous
+// expression columns get synthetic placeholders so the worker's catalog
+// stays unambiguous. ok is false when a name cannot be preserved safely.
+func shippedNames(env *eval.BoundSchema, n *plan.GroupBy) ([]string, bool) {
+	count := map[string]int{}
+	for _, col := range env.Cols {
+		count[col.Name]++
+	}
+	referenced := map[string]bool{}
+	for _, k := range n.Keys {
+		if ord, isCol := eval.PlainOrdinal(env, k); isCol {
+			referenced[env.Cols[ord].Name] = true
+		}
+	}
+	for _, spec := range n.Aggs {
+		for _, a := range spec.Call.Args {
+			for _, cr := range sqlast.ColumnRefs(a) {
+				referenced[cr.Name] = true
+			}
+		}
+	}
+	names := make([]string, len(env.Cols))
+	for i, col := range env.Cols {
+		if col.Name != "" && count[col.Name] == 1 {
+			names[i] = col.Name
+			continue
+		}
+		if col.Name != "" && referenced[col.Name] {
+			return nil, false
+		}
+		syn := fmt.Sprintf("__shard_c%d", i)
+		if count[syn] > 0 {
+			return nil, false
+		}
+		names[i] = syn
+	}
+	return names, true
+}

@@ -1,0 +1,63 @@
+package shard
+
+import "sync/atomic"
+
+// Metrics counts coordinator-side scatter-gather activity. All fields are
+// atomic so the query path updates them lock-free; Snapshot materializes a
+// JSON-friendly view for the server's /metrics endpoint.
+type Metrics struct {
+	// SheetSubplans / GroupSubplans count distributed node executions that
+	// completed remotely (one per node, not per worker).
+	SheetSubplans atomic.Int64
+	GroupSubplans atomic.Int64
+	// Fallbacks counts distributable nodes that ran locally after all —
+	// input under the row threshold, rows not page-encodable, or a worker
+	// down past its retry budget.
+	Fallbacks atomic.Int64
+	// ScatterFanout counts SUBPLAN requests sent (one per worker that
+	// received rows, retries excluded).
+	ScatterFanout atomic.Int64
+	// PartialBytes totals PART payload bytes received from workers.
+	PartialBytes atomic.Int64
+	// MergeWaitNS totals the time the coordinator spent blocked waiting for
+	// worker partials before merging.
+	MergeWaitNS atomic.Int64
+	// WorkerRetries counts subplan attempts abandoned on a transport error
+	// and retried on a fresh connection.
+	WorkerRetries atomic.Int64
+	// Cancels counts CANCEL broadcasts sent to in-flight workers.
+	Cancels atomic.Int64
+}
+
+// Snapshot is a point-in-time metrics view (embedded in the server's
+// /metrics JSON under "shard").
+type Snapshot struct {
+	SheetSubplans int64            `json:"sheet_subplans"`
+	GroupSubplans int64            `json:"group_subplans"`
+	Fallbacks     int64            `json:"fallbacks"`
+	ScatterFanout int64            `json:"scatter_fanout"`
+	PartialBytes  int64            `json:"partial_bytes"`
+	MergeWaitNS   int64            `json:"merge_wait_ns"`
+	WorkerRetries int64            `json:"worker_retries"`
+	Cancels       int64            `json:"cancels"`
+	Workers       []WorkerSnapshot `json:"workers"`
+}
+
+// WorkerSnapshot reports one worker connection's health history.
+type WorkerSnapshot struct {
+	Addr    string `json:"addr"`
+	Redials int64  `json:"redials"`
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	return Snapshot{
+		SheetSubplans: m.SheetSubplans.Load(),
+		GroupSubplans: m.GroupSubplans.Load(),
+		Fallbacks:     m.Fallbacks.Load(),
+		ScatterFanout: m.ScatterFanout.Load(),
+		PartialBytes:  m.PartialBytes.Load(),
+		MergeWaitNS:   m.MergeWaitNS.Load(),
+		WorkerRetries: m.WorkerRetries.Load(),
+		Cancels:       m.Cancels.Load(),
+	}
+}

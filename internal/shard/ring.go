@@ -1,0 +1,89 @@
+// Package shard implements the scatter-gather coordinator and worker halves
+// of distributed spreadsheet/group-by execution. The coordinator hashes
+// PARTITION BY values (and grouping keys) onto sqlsheetd workers over the
+// wire protocol, streams back partial frames and aggregate partials, and
+// merges them morsel-ordered so the distributed result is byte-identical to
+// a single-process run at any shard count (see DESIGN.md §15).
+package shard
+
+import (
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per worker. Enough points that a
+// two-worker ring splits keys close to evenly; small enough that building
+// the ring is trivially cheap.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash ring over worker indices. Placement is a pure
+// function of the key bytes and the worker count, so every coordinator (and
+// every retry) agrees on ownership without coordination. Correctness never
+// depends on placement — only load balance does — because the merge layers
+// regroup by key.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash   uint32
+	worker int
+}
+
+// NewRing builds a ring over workers 0..n-1 with vnodes points each
+// (<=0 uses the default).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	var buf [8]byte
+	for w := 0; w < n; w++ {
+		for v := 0; v < vnodes; v++ {
+			buf[0] = byte(w)
+			buf[1] = byte(w >> 8)
+			buf[2] = byte(w >> 16)
+			buf[3] = byte(w >> 24)
+			buf[4] = byte(v)
+			buf[5] = byte(v >> 8)
+			buf[6] = byte(v >> 16)
+			buf[7] = byte(v >> 24)
+			r.points = append(r.points, ringPoint{hash: fnv32(buf[:]), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.worker < b.worker // deterministic tiebreak
+	})
+	return r
+}
+
+// Workers returns the worker count the ring was built for.
+func (r *Ring) Workers() int { return r.n }
+
+// Owner maps a key (an encoded types.AppendKey byte string) to its owning
+// worker index: the first ring point clockwise from the key's hash.
+func (r *Ring) Owner(key []byte) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := fnv32(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+// fnv32 is FNV-1a, matching the hash family used across the storage layer.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/core"
+	"sqlsheet/internal/parser"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/sqlast"
+	"sqlsheet/internal/types"
+)
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		key := types.AppendKey(nil, types.NewInt(int64(i)))
+		w := a.Owner(key)
+		if w < 0 || w >= 4 {
+			t.Fatalf("owner %d out of range", w)
+		}
+		if b.Owner(key) != w {
+			t.Fatalf("ring not deterministic for key %d", i)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("1000 keys covered only %d of 4 workers", len(seen))
+	}
+	one := NewRing(1, 0)
+	if one.Owner([]byte("anything")) != 0 {
+		t.Fatal("single-worker ring must own everything")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("a"), types.NewFloat(math.NaN())},
+		{types.NewInt(2), types.NewString(""), types.NewFloat(math.Inf(-1))},
+		{types.Null, types.NewBool(true), types.NewFloat(-0.0)},
+	}
+	pages, ok := EncodeRowPages(rows, 3)
+	if !ok {
+		t.Fatal("rows should be page-encodable")
+	}
+	for _, e := range []*Envelope{
+		{Kind: KindSheet, Stmt: "SELECT * FROM \"__shard_input\"", Cols: []string{"r", "d", "m"}, Pages: pages},
+		{Kind: KindGroup, Stmt: "SELECT k, sum(x) FROM t GROUP BY k", Cols: []string{"k", "x", ""},
+			Pages: pages, NKeys: 1, NAggs: 1, Runs: []MorselRun{{0, 2}, {3, 1}}},
+	} {
+		got, err := DecodeEnvelope(EncodeEnvelope(e))
+		if err != nil {
+			t.Fatalf("kind %d: %v", e.Kind, err)
+		}
+		if got.Kind != e.Kind || got.Stmt != e.Stmt || !reflect.DeepEqual(got.Cols, e.Cols) ||
+			got.NKeys != e.NKeys || got.NAggs != e.NAggs || len(got.Runs) != len(e.Runs) {
+			t.Fatalf("kind %d: envelope mismatch: %+v vs %+v", e.Kind, got, e)
+		}
+		back, err := DecodeRowPages(got.Pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(rows) {
+			t.Fatalf("rows: %d vs %d", len(back), len(rows))
+		}
+		for i := range back {
+			for j := range back[i] {
+				if !bitsEqual(back[i][j], rows[i][j]) {
+					t.Fatalf("row %d col %d: %#v vs %#v", i, j, back[i][j], rows[i][j])
+				}
+			}
+		}
+	}
+	if _, err := DecodeEnvelope(nil); err == nil {
+		t.Fatal("empty envelope must error")
+	}
+	if _, err := DecodeEnvelope([]byte{9}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestGroupPartRoundTrip(t *testing.T) {
+	p := &GroupPart{
+		Morsel: 7,
+		Groups: []PartGroup{
+			{Keys: []types.Value{types.NewInt(1), types.NewString("x")},
+				States: [][]byte{{1, 2, 3}, {}}},
+			{Keys: []types.Value{types.NewFloat(math.NaN())},
+				States: [][]byte{{0xff}}},
+		},
+	}
+	got, err := DecodeGroupPart(EncodeGroupPart(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Morsel != 7 || len(got.Groups) != 2 {
+		t.Fatalf("shape: %+v", got)
+	}
+	for gi := range p.Groups {
+		for ki := range p.Groups[gi].Keys {
+			if !bitsEqual(got.Groups[gi].Keys[ki], p.Groups[gi].Keys[ki]) {
+				t.Fatalf("group %d key %d mismatch", gi, ki)
+			}
+		}
+		if len(got.Groups[gi].States) != len(p.Groups[gi].States) {
+			t.Fatalf("group %d state count", gi)
+		}
+		for si, s := range p.Groups[gi].States {
+			if string(got.Groups[gi].States[si]) != string(s) {
+				t.Fatalf("group %d state %d mismatch", gi, si)
+			}
+		}
+	}
+}
+
+// bitsEqual compares values at the representation level (NaN payloads,
+// numeric kind) — the distributed contract is byte identity, not SQL
+// equality.
+func bitsEqual(a, b types.Value) bool {
+	return a.K == b.K && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func compileModel(t *testing.T, sql string) *core.Model {
+	t.Helper()
+	stmt, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := stmt.Query.(*sqlast.SelectBody)
+	m, err := core.Compile(body.Spreadsheet, types.NewSchemaNames("r", "p", "t", "s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSheetStatementRoundTrip(t *testing.T) {
+	m := compileModel(t, `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s) IGNORE NAV
+		(
+		  UPSERT s[p='dvd',t=2002] = s[p='dvd',t=2001]*1.6,
+		  s[p='vcr',t=2002] = s[p='vcr',t=2000] + s[p='vcr',t=2001]
+		)`)
+	text := SheetStatement(m)
+	stmt, err := parser.ParseQuery(text)
+	if err != nil {
+		t.Fatalf("synthesized statement does not re-parse: %v\n%s", err, text)
+	}
+	body, _ := stmt.Query.(*sqlast.SelectBody)
+	if body == nil || body.Spreadsheet == nil {
+		t.Fatalf("no SPREADSHEET clause in %s", text)
+	}
+	m2, err := core.Compile(body.Spreadsheet, types.NewSchemaNames("r", "p", "t", "s"), nil)
+	if err != nil {
+		t.Fatalf("synthesized clause does not re-compile: %v\n%s", err, text)
+	}
+	if m2.NPby != m.NPby || m2.NDby != m.NDby || m2.NMea != m.NMea {
+		t.Fatalf("column split drifted: %d/%d/%d vs %d/%d/%d",
+			m2.NPby, m2.NDby, m2.NMea, m.NPby, m.NDby, m.NMea)
+	}
+	if len(m2.Rules) != len(m.Rules) {
+		t.Fatalf("rules drifted: %d vs %d", len(m2.Rules), len(m.Rules))
+	}
+	if m2.IgnoreNav != m.IgnoreNav || m2.SeqOrder != m.SeqOrder || m2.ReturnUpdated != m.ReturnUpdated {
+		t.Fatal("clause flags drifted")
+	}
+}
+
+// TestWorkerSheetSubplanMatchesLocalRun runs the same partition rows through
+// the worker path (envelope → ExecuteSubplan → pages) and a local Model.Run
+// and demands bit-identical rows.
+func TestWorkerSheetSubplanMatchesLocalRun(t *testing.T) {
+	m := compileModel(t, `SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		(
+		  UPSERT s[p='dvd',t=2002] = s[p='dvd',t=2001]*1.6,
+		  s[p='vcr',t=2002] = s[p='vcr',t=2000] + s[p='vcr',t=2001]
+		)`)
+	var rows []types.Row
+	for r := 0; r < 3; r++ {
+		for _, p := range []string{"dvd", "vcr", "tv"} {
+			for _, yr := range []int64{2000, 2001} {
+				rows = append(rows, types.Row{
+					types.NewInt(int64(r)), types.NewString(p), types.NewInt(yr),
+					types.NewFloat(float64(r) + float64(yr)/100),
+				})
+			}
+		}
+	}
+	want, _, err := m.Run(rows, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, ok := EncodeRowPages(rows, 4)
+	if !ok {
+		t.Fatal("input not page-encodable")
+	}
+	env := EncodeEnvelope(&Envelope{
+		Kind: KindSheet, Stmt: SheetStatement(m),
+		Cols: []string{"r", "p", "t", "s"}, Pages: pages,
+	})
+	var chunks [][]byte
+	err = ExecuteSubplan(context.Background(), env, WorkerOptions{}, func(chunk []byte) error {
+		cp := make([]byte, len(chunk))
+		copy(cp, chunk)
+		chunks = append(chunks, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRowPages(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if !bitsEqual(got[i][j], want[i][j]) {
+				t.Fatalf("row %d col %d: %#v vs %#v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestGroupStatementSynthesis(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Create("t", types.NewSchemaNames("k", "x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := parser.ParseQuery("SELECT k, sum(x), count(*), avg(y) FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := plan.Build(cat, stmt, &plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := findGroupBy(pn)
+	if gb == nil {
+		t.Fatal("no GroupBy in plan")
+	}
+	text, ok := GroupStatement(gb, gb.Input.Schema())
+	if !ok {
+		t.Fatal("synthesis declined a plain group-by")
+	}
+	stmt2, err := parser.ParseQuery(text)
+	if err != nil {
+		t.Fatalf("synthesized statement does not re-parse: %v\n%s", err, text)
+	}
+	cat2 := catalog.New()
+	if _, err := cat2.Create(InputTable, types.NewSchemaNames("k", "x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	pn2, err := plan.Build(cat2, stmt2, &plan.Options{})
+	if err != nil {
+		t.Fatalf("synthesized statement does not re-plan: %v\n%s", err, text)
+	}
+	gb2 := findGroupBy(pn2)
+	if gb2 == nil {
+		t.Fatalf("no GroupBy in synthesized plan: %s", text)
+	}
+	if len(gb2.Keys) != len(gb.Keys) || len(gb2.Aggs) != len(gb.Aggs) {
+		t.Fatalf("shape drifted: %d keys/%d aggs vs %d/%d",
+			len(gb2.Keys), len(gb2.Aggs), len(gb.Keys), len(gb.Aggs))
+	}
+	for i := range gb.Aggs {
+		if gb2.Aggs[i].Call.Name != gb.Aggs[i].Call.Name {
+			t.Fatalf("agg %d: %s vs %s", i, gb2.Aggs[i].Call.Name, gb.Aggs[i].Call.Name)
+		}
+	}
+	// Duplicate aggregate calls cannot keep positional alignment: decline.
+	stmt3, err := parser.ParseQuery("SELECT k, sum(x), sum(x) FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn3, err := plan.Build(cat, stmt3, &plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb3 := findGroupBy(pn3); gb3 != nil && len(gb3.Aggs) == 2 {
+		if _, ok := GroupStatement(gb3, gb3.Input.Schema()); ok {
+			t.Fatal("duplicate aggregate calls must decline synthesis")
+		}
+	}
+}

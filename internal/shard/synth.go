@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"sqlsheet/internal/core"
+	"sqlsheet/internal/eval"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/sqlast"
+)
+
+// InputTable is the scratch table name a worker binds the shipped rows to.
+// The name is unreachable from user SQL (quoting aside, nothing in the
+// shipped statements references any other table), so there is no collision
+// with worker-local catalogs.
+const InputTable = "__shard_input"
+
+// Subplans travel as SQL text, not serialized plan trees: the statement is
+// synthesized from the coordinator's *optimized* node (post-pruning rule
+// sources, resolved column names), the worker re-parses and re-compiles it
+// over the shipped schema, and both sides therefore execute the exact same
+// expression set through the exact same evaluation paths. Text is also
+// trivially versionable across worker builds.
+
+// SheetStatement renders the carrier statement for a spreadsheet subplan:
+// SELECT * FROM "__shard_input" SPREADSHEET <clause>, with the clause
+// rebuilt from the compiled model — PBY/DBY/MEA by working-schema name and
+// the post-optimizer rule set (Model.Rules[i].Src), so pruned or rewritten
+// formulas never resurface on the worker.
+func SheetStatement(m *core.Model) string {
+	clause := &sqlast.SpreadsheetClause{
+		DefaultMode:   m.Clause.DefaultMode,
+		SeqOrder:      m.SeqOrder,
+		IgnoreNav:     m.IgnoreNav,
+		ReturnUpdated: m.ReturnUpdated,
+		Iterate:       m.Iterate,
+	}
+	for _, n := range m.PbyNames() {
+		clause.PBY = append(clause.PBY, &sqlast.ColumnRef{Name: n})
+	}
+	for _, n := range m.DimNames() {
+		clause.DBY = append(clause.DBY, &sqlast.ColumnRef{Name: n})
+	}
+	for _, n := range m.MeasureNames() {
+		clause.MEA = append(clause.MEA, sqlast.MeaItem{Expr: &sqlast.ColumnRef{Name: n}})
+	}
+	for _, r := range m.Rules {
+		clause.Rules = append(clause.Rules, r.Src)
+	}
+	stmt := &sqlast.SelectStmt{Query: &sqlast.SelectBody{
+		Items:       []sqlast.SelectItem{{Expr: &sqlast.Star{}}},
+		From:        []sqlast.TableRef{&sqlast.TableName{Name: InputTable}},
+		Spreadsheet: clause,
+	}}
+	return sqlast.FormatStatement(stmt)
+}
+
+// GroupStatement renders the carrier statement for a group-by subplan:
+// SELECT <keys>, <aggs> FROM "__shard_input" GROUP BY <keys>. Keys are
+// rebuilt as bare ColumnRefs by resolved schema name (the distribution pass
+// guarantees uniqueness); aggregate calls are reused verbatim (the pass
+// guarantees their column refs are unqualified and unambiguous). ok is
+// false when the node cannot be expressed — duplicate keys or duplicate
+// aggregate calls would make the worker's rebuilt plan ambiguous — in which
+// case the coordinator declines and the executor runs locally.
+func GroupStatement(n *plan.GroupBy, env *eval.BoundSchema) (string, bool) {
+	items := make([]sqlast.SelectItem, 0, len(n.Keys)+len(n.Aggs))
+	groupBy := make([]sqlast.Expr, 0, len(n.Keys))
+	seenKey := map[string]bool{}
+	for _, k := range n.Keys {
+		ord, isCol := eval.PlainOrdinal(env, k)
+		if !isCol {
+			return "", false
+		}
+		name := env.Cols[ord].Name
+		if name == "" || seenKey[name] {
+			return "", false
+		}
+		seenKey[name] = true
+		ref := &sqlast.ColumnRef{Name: name}
+		items = append(items, sqlast.SelectItem{Expr: ref})
+		groupBy = append(groupBy, ref)
+	}
+	seenAgg := map[string]bool{}
+	for _, spec := range n.Aggs {
+		s := spec.Call.String()
+		if seenAgg[s] {
+			// Two identical calls would be collapsed by the worker's
+			// planner and break positional alignment.
+			return "", false
+		}
+		seenAgg[s] = true
+		items = append(items, sqlast.SelectItem{Expr: spec.Call})
+	}
+	stmt := &sqlast.SelectStmt{Query: &sqlast.SelectBody{
+		Items:   items,
+		From:    []sqlast.TableRef{&sqlast.TableName{Name: InputTable}},
+		GroupBy: groupBy,
+	}}
+	return sqlast.FormatStatement(stmt), true
+}
