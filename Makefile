@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race race-vector serve-test cluster-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector bench-rules bench-shard lint-hotpath
+.PHONY: build test verify vet race race-vector serve-test cluster-test recover-test bench-parallel bench bench-compare bench-cache bench-serve bench-vector bench-rules bench-shard bench-wal lint-hotpath
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # columnar image cache and selection-pool are shared across worker
 # goroutines; race-vector is targeted so verify stays fast — full-module
 # `make race` remains the pre-merge gate for goroutine-heavy changes).
-verify: build test serve-test cluster-test lint-hotpath race-vector
+verify: build test serve-test cluster-test recover-test lint-hotpath race-vector
 
 # Serving-layer gate: wire codec round-trips, fuzz seed corpus, and the
 # in-process sqlsheetd integration suite (32 concurrent sessions vs serial
@@ -37,6 +37,18 @@ serve-test:
 cluster-test:
 	$(GO) test -race ./internal/shard/
 	$(GO) test -race -run 'TestCluster' ./internal/server/
+
+# Crash-recovery gate, run under the race detector: SIGKILL a WAL-backed
+# server (fsync-always) mid-INSERT-burst, restart it over the same log
+# directory, and require a clean prefix covering every acknowledged
+# statement, byte-identical to a serial replay. The WAL unit suite (framing,
+# rotation, checkpoint truncation, torn-tail recovery, FuzzWALReplay seed
+# corpus) and the root-package recovery round-trips ride along. Part of
+# `make verify`.
+recover-test:
+	$(GO) test -race ./internal/wal/
+	$(GO) test -race -run 'TestRecover' ./internal/server/
+	$(GO) test -race -run 'TestWAL' .
 
 # lint-hotpath flags direct interpreter entry points (eval.Eval / eval.EvalBool)
 # in the executor and spreadsheet engine, and per-row types.Value boxing
@@ -159,6 +171,18 @@ bench-shard:
 	$(GO) run ./cmd/benchjson -diff BENCH_shard.json -out BENCH_shard.json -fail-over 50 -merge \
 		-command "make bench-shard" \
 		-note "sharded spreadsheet execution: local vs 1-worker vs 2-worker scatter-gather"
+
+# WAL durability benchmarks: single-statement DML throughput under fsync
+# none/group/always plus the no-WAL baseline, the 8-way concurrent group-
+# commit case (coalesced/op reports fsyncs saved per statement), and reader
+# latency during a sustained write burst with snapshot isolation on vs the
+# lock-based ablation (Config.DisableSnapshotIsolation). cmd/benchjson diffs
+# against the checked-in BENCH_wal.json baseline and rewrites it.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend$$|BenchmarkWALAppendConcurrent|BenchmarkReaderDuringDML' -benchmem . | \
+	$(GO) run ./cmd/benchjson -diff BENCH_wal.json -out BENCH_wal.json -merge \
+		-command "make bench-wal" \
+		-note "WAL durability: fsync mode throughput, group-commit coalescing, concurrent-reader latency under write burst (MVCC vs stmtMu ablation)"
 
 # Serving-layer throughput: end-to-end client round-trips at 1, 8 and 64
 # concurrent sessions, serving-path cache cold vs warm. cmd/benchjson diffs

@@ -2,6 +2,7 @@ package sqlsheet
 
 import (
 	"sqlsheet/internal/apb"
+	"sqlsheet/internal/wal"
 )
 
 // APBScale sizes the bundled APB-1-style benchmark dataset (the workload of
@@ -39,8 +40,24 @@ func (db *DB) InstallAPB(scale APBScale) (APBInfo, error) {
 		Density:       scale.Density,
 	})
 	db.stmtMu.Lock()
-	err := d.Install(db.cat)
+	// The generator is deterministic in its scale parameters, so the log
+	// records only those; replay regenerates the dataset.
+	pos, err := db.logRecord(wal.KindAPB, wal.EncodeAPB(wal.APBParams{
+		Seed:          scale.Seed,
+		ProductFanout: scale.ProductFanout,
+		Channels:      scale.Channels,
+		Customers:     scale.Customers,
+		Years:         scale.Years,
+		Density:       scale.Density,
+	}))
+	if err == nil {
+		err = d.Install(db.cat)
+	}
+	db.cat.PublishAll()
 	db.stmtMu.Unlock()
+	if err == nil {
+		err = db.walCommit(pos)
+	}
 	if err != nil {
 		return APBInfo{}, err
 	}

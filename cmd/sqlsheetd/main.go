@@ -54,6 +54,8 @@ func main() {
 	worker := flag.Bool("worker", false, "enable worker mode: accept SUBPLAN shards from a coordinator")
 	coordinator := flag.String("coordinator", "", "comma-separated worker list (addr or addr=metricsAddr); installs the scatter-gather coordinator")
 	shardMinRows := flag.Int("shard-min-rows", 0, "min input rows before a node is distributed (0 = coordinator default)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables crash-safe durability and replays any existing log before serving")
+	fsync := flag.String("fsync", "group", "WAL durability: group (coalesced post-apply fsync), always (fsync before apply), none")
 	flag.Parse()
 
 	db := sqlsheet.Open()
@@ -62,6 +64,24 @@ func main() {
 		cfg.Parallel = *parallel
 		cfg.Workers = *workers
 		db.Configure(cfg)
+	}
+	if *walDir != "" {
+		mode, err := sqlsheet.ParseSyncMode(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.EnableWAL(*walDir, mode); err != nil {
+			fatal(err)
+		}
+		if c, ok := db.WALCounters(); ok && c.Replayed > 0 {
+			fmt.Printf("wal: recovered %d records from %s\n", c.Replayed, *walDir)
+			// Setup flags already ran on the first boot and were logged;
+			// re-running them against recovered state would double-load.
+			if *apb || *file != "" {
+				fmt.Println("wal: skipping -apb/-f setup (state recovered from log)")
+				*apb, *file = false, ""
+			}
+		}
 	}
 	if *apb {
 		info, err := db.InstallAPB(sqlsheet.APBScale{})

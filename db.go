@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"sqlsheet/internal/blockstore"
 	"sqlsheet/internal/catalog"
@@ -39,6 +40,7 @@ import (
 	"sqlsheet/internal/plancache"
 	"sqlsheet/internal/sqlast"
 	"sqlsheet/internal/types"
+	"sqlsheet/internal/wal"
 )
 
 // Value is the scalar value type of results.
@@ -51,33 +53,67 @@ type Row = types.Row
 //
 // Concurrency contract (audited for the serving layer):
 //   - Any number of Query/QueryStats/QueryOpStats/Explain/ExplainAnalyze
-//     calls may run concurrently; they hold the statement lock shared.
+//     calls may run concurrently, and they acquire no lock at all: each
+//     statement pins per-table MVCC images (catalog.Snapshot) published by
+//     the last completed mutation and reads only those. Readers never block
+//     writers and writers never block readers.
 //   - Exec takes the statement lock exclusively when its batch contains
-//     anything besides SELECTs (DDL, DML, REFRESH), so a mutation never
-//     races a concurrent query's table scans. A SELECT-only Exec runs
-//     shared like Query.
+//     anything besides SELECTs (DDL, DML, REFRESH), serializing mutations
+//     against each other; after every mutating statement it publishes fresh
+//     table images (catalog.PublishAll), so snapshot readers observe
+//     statement-boundary states only — never a half-applied mutation.
+//     A SELECT-only Exec runs lock-free like Query.
 //   - Programmatic mutators (CreateTable, Insert, LoadCSV, InstallAPB,
-//     Configure) also take the exclusive lock.
+//     Configure) also take the exclusive lock and publish.
+//   - Writers mutate table row slices copy-on-write (UPDATE and DELETE
+//     replace the slice; INSERT appends past every published image's
+//     clipped length), so a pinned image is immutable for its lifetime.
+//   - Config.DisableSnapshotIsolation restores the previous regime —
+//     readers share the statement lock and scan live rows — as the ablation
+//     baseline; results are byte-identical either way.
 //   - catalog.Table.Version is atomic besides all this: the plan cache
-//     probes versions lock-free on the shared path, and the exclusive path
-//     bumps them; the lock ordering (version bump happens inside the
-//     exclusive section, probes validate again under the entry mutex)
-//     guarantees a probe never serves rows from a half-applied mutation.
+//     probes versions lock-free, and the exclusive path bumps them; result
+//     dependencies are stamped with the executing statement's *pinned*
+//     versions, so a result computed against snapshot V is never registered
+//     (or served) under a version installed mid-flight.
+//   - When a write-ahead log is enabled (EnableWAL), mutating statements
+//     append a log record before applying and are acknowledged only after
+//     the record is durable per the configured SyncMode; EnableWAL must be
+//     called before the DB is shared between goroutines.
 type DB struct {
-	cat  *catalog.Catalog
-	opts Config
+	cat *catalog.Catalog
+	// sess holds the session options, their fingerprint and the optional
+	// distributor as one immutable value: lock-free readers load it once
+	// per call and see a consistent configuration even if Configure runs
+	// mid-flight.
+	sess atomic.Pointer[session]
 	// cache is the serving-path statement cache: parsed ASTs, optimized
 	// plans (with their compiled-closure registries), pristine spreadsheet
 	// access structures and full result sets, all keyed by statement
 	// fingerprint × configuration fingerprint and invalidated by catalog
 	// version counters.
 	cache *plancache.Cache
-	// cfgFP fingerprints the current Config so entries cached under other
-	// knob settings are never served.
-	cfgFP uint64
-	// stmtMu is the statement-level reader/writer lock implementing the
-	// contract above: queries share it, mutations own it.
+	// stmtMu is the statement-level lock implementing the contract above:
+	// mutations own it exclusively; snapshot readers skip it entirely (the
+	// shared mode survives only for DisableSnapshotIsolation).
 	stmtMu sync.RWMutex
+	// wal, when non-nil, is the write-ahead log (EnableWAL). walReplay
+	// suppresses re-logging while recovery replays the log; both are
+	// written before the DB is shared and accessed by writers under the
+	// exclusive statement lock.
+	wal       *wal.Log
+	walReplay bool
+	// walAutoCP triggers a checkpoint compaction when the log exceeds this
+	// many bytes (checked at write-batch boundaries).
+	walAutoCP int64
+}
+
+// session is one immutable configuration state; DB.sess swaps whole values.
+type session struct {
+	opts Config
+	// fp fingerprints opts (and the distributor's presence) so entries
+	// cached under other knob settings are never served.
+	fp uint64
 	// dist, when non-nil, is the scatter-gather coordinator consulted for
 	// plan nodes the distribution pass approved (SetDistributor).
 	dist exec.Distributor
@@ -191,6 +227,19 @@ type Config struct {
 	// access structures dominate). 0 shares MemoryBudget when that is set,
 	// and otherwise defaults to 64 MiB.
 	PlanCacheBudget int64
+	// DisableSnapshotIsolation restores lock-based reads: SELECT statements
+	// share the statement lock and scan live table rows instead of pinning
+	// MVCC images, so readers block behind writers again. Results are
+	// byte-identical either way; this is the ablation baseline for the
+	// non-blocking-reads benchmarks.
+	DisableSnapshotIsolation bool
+	// DisableFastLocalPath keeps the spreadsheet engine cloning rows across
+	// the chunk-store boundary even for unbudgeted in-memory runs. With the
+	// fast path on (the default when MemoryBudget is 0), input rows are
+	// stored and returned by reference — safe because the engine replaces
+	// stored rows copy-on-write, never mutates them. Results are
+	// byte-identical either way (ablation knob).
+	DisableFastLocalPath bool
 }
 
 // defaultPlanCacheBudget bounds the serving-path cache when neither
@@ -232,27 +281,30 @@ func configFingerprint(cfg Config) uint64 {
 // Open creates an empty database with default options.
 func Open() *DB {
 	db := &DB{cat: catalog.New(), cache: plancache.New(defaultPlanCacheBudget)}
-	db.cfgFP = configFingerprint(db.opts)
+	db.sess.Store(&session{fp: configFingerprint(Config{})})
 	return db
 }
 
 // Configure replaces the session options. It takes the exclusive statement
-// lock, so in-flight queries finish under the old options; entries cached
-// under previous options stay resident until evicted but are keyed away by
-// the config fingerprint.
+// lock, so in-flight mutations finish under the old options; lock-free
+// readers that already loaded the previous session finish under it too
+// (each call sees one consistent configuration). Entries cached under
+// previous options stay resident until evicted but are keyed away by the
+// config fingerprint.
 func (db *DB) Configure(cfg Config) {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	db.opts = cfg
-	db.cfgFP = configFingerprint(cfg)
-	if db.dist != nil {
-		db.cfgFP ^= distFingerprintBit
+	old := db.sess.Load()
+	fp := configFingerprint(cfg)
+	if old.dist != nil {
+		fp ^= distFingerprintBit
 	}
+	db.sess.Store(&session{opts: cfg, fp: fp, dist: old.dist})
 	db.cache.SetBudget(cacheBudget(cfg))
 }
 
 // Options returns the current session options.
-func (db *DB) Options() Config { return db.opts }
+func (db *DB) Options() Config { return db.sess.Load().opts }
 
 // SetDistributor installs (or, with nil, removes) a scatter-gather
 // coordinator. Plans built afterwards run the distribution pass and carry
@@ -263,11 +315,32 @@ func (db *DB) Options() Config { return db.opts }
 func (db *DB) SetDistributor(d exec.Distributor) {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	db.dist = d
-	db.cfgFP = configFingerprint(db.opts)
+	old := db.sess.Load()
+	fp := configFingerprint(old.opts)
 	if d != nil {
-		db.cfgFP ^= distFingerprintBit
+		fp ^= distFingerprintBit
 	}
+	db.sess.Store(&session{opts: old.opts, fp: fp, dist: d})
+}
+
+// readLock acquires the shared statement lock when snapshot isolation is
+// disabled (the lock-based ablation baseline) and is a no-op otherwise.
+// The returned function releases whatever was taken.
+func (db *DB) readLock(s *session) func() {
+	if !s.opts.DisableSnapshotIsolation {
+		return func() {}
+	}
+	db.stmtMu.RLock()
+	return db.stmtMu.RUnlock
+}
+
+// newSnapshot returns the per-statement MVCC snapshot, or nil when snapshot
+// isolation is disabled (callers then read live rows under the shared lock).
+func (db *DB) newSnapshot(s *session) *catalog.Snapshot {
+	if s.opts.DisableSnapshotIsolation {
+		return nil
+	}
+	return catalog.NewSnapshot()
 }
 
 // Result is a materialized query result.
@@ -289,8 +362,8 @@ func (r *Result) String() string {
 // through the statement-text cache, so a repeated text skips the parser
 // entirely (the fingerprint is whitespace- and case-insensitive, so
 // reformatted texts share the parse too).
-func (db *DB) prepare(sql string) ([]sqlast.Statement, error) {
-	if db.opts.DisablePlanCache {
+func (db *DB) prepare(s *session, sql string) ([]sqlast.Statement, error) {
+	if s.opts.DisablePlanCache {
 		return parser.Parse(sql)
 	}
 	fp, err := parser.Fingerprint(sql)
@@ -311,8 +384,8 @@ func (db *DB) prepare(sql string) ([]sqlast.Statement, error) {
 
 // prepareQuery prepares a single-SELECT text, reproducing ParseQuery's
 // error messages for anything else.
-func (db *DB) prepareQuery(sql string) (*sqlast.SelectStmt, error) {
-	stmts, err := db.prepare(sql)
+func (db *DB) prepareQuery(s *session, sql string) (*sqlast.SelectStmt, error) {
+	stmts, err := db.prepare(s, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -344,15 +417,21 @@ type queryOutcome struct {
 // serialized per entry because cached plans carry mutable state. A caller
 // that finds the entry busy executes privately rather than queueing, so
 // concurrent identical statements never serialize behind each other.
-func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exec.Result, queryOutcome, error) {
+//
+// Each call pins its own MVCC snapshot: planning (which may execute
+// reference subqueries), execution and dependency stamping all read the
+// same pinned images, so a writer installing new versions mid-flight can
+// waste this call's cache stores but never taint them.
+func (db *DB) runSelect(ctx context.Context, s *session, stmt *sqlast.SelectStmt, forceExec, wantPlan bool) (*exec.Result, queryOutcome, error) {
 	var out queryOutcome
-	if db.opts.DisablePlanCache {
-		res, err := db.runSelectUncached(ctx, stmt, wantPlan, &out)
+	snap := db.newSnapshot(s)
+	if s.opts.DisablePlanCache {
+		res, err := db.runSelectUncached(ctx, s, snap, stmt, wantPlan, &out)
 		return res, out, err
 	}
-	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: db.cfgFP}
+	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: s.fp}
 	e := db.cache.Entry(key)
-	useResult := !forceExec && !db.opts.DisableResultCache && db.opts.MemoryBudget == 0
+	useResult := !forceExec && !s.opts.DisableResultCache && s.opts.MemoryBudget == 0
 	if useResult {
 		if schema, rows, deps, ok := db.cache.Result(e, db.cat); ok {
 			out.resultHit, out.planHit = true, true
@@ -363,7 +442,7 @@ func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec,
 	}
 	if !e.ExecMu.TryLock() {
 		// Another goroutine is executing this entry; run privately.
-		res, err := db.runSelectUncached(ctx, stmt, wantPlan, &out)
+		res, err := db.runSelectUncached(ctx, s, snap, stmt, wantPlan, &out)
 		return res, out, err
 	}
 	defer e.ExecMu.Unlock()
@@ -376,7 +455,7 @@ func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec,
 			return &exec.Result{Schema: schema, Rows: rows}, out, nil
 		}
 	}
-	ex := db.newExecutor(ctx)
+	ex := db.newExecutor(ctx, s, snap)
 	p, deps, hit := db.cache.Plan(e, db.cat)
 	if p == nil {
 		var err error
@@ -384,7 +463,7 @@ func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec,
 		if err != nil {
 			return nil, out, err
 		}
-		d, sheets := plancache.CollectDeps(db.cat, stmt, p)
+		d, sheets := plancache.CollectDeps(db.cat, stmt, p, snap)
 		db.cache.SetPlan(e, stmt, p, d, sheets)
 		deps = d
 	}
@@ -393,14 +472,19 @@ func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec,
 	if wantPlan {
 		out.planText = plan.Explain(p)
 	}
-	ex.Opts.Structs = db.structCache(e)
+	ex.Opts.Structs = db.structCache(s, e)
 	res, err := ex.Execute(p, nil)
 	out.sheet, out.ops = ex.SheetStats, ex.ExecStats
 	out.structReused = ex.ExecStats.Cache.StructuresReused
 	if err != nil {
 		return nil, out, err
 	}
-	if !db.opts.DisableResultCache && db.opts.MemoryBudget == 0 && ctx.Err() == nil {
+	// DepsMatchSnapshot closes the staleness window: if a writer installed
+	// new versions between this entry's dependency stamping and this call's
+	// pins, the rows do not correspond to the stamp and must not be
+	// registered under it.
+	if !s.opts.DisableResultCache && s.opts.MemoryBudget == 0 && ctx.Err() == nil &&
+		plancache.DepsMatchSnapshot(deps, snap) {
 		db.cache.SetResult(e, res.Schema, res.Rows)
 	}
 	db.fillCacheStats(&out)
@@ -409,8 +493,8 @@ func (db *DB) runSelect(ctx context.Context, stmt *sqlast.SelectStmt, forceExec,
 
 // runSelectUncached is the cache-bypassing execution path (cache disabled,
 // or the entry is busy).
-func (db *DB) runSelectUncached(ctx context.Context, stmt *sqlast.SelectStmt, wantPlan bool, out *queryOutcome) (*exec.Result, error) {
-	ex := db.newExecutor(ctx)
+func (db *DB) runSelectUncached(ctx context.Context, s *session, snap *catalog.Snapshot, stmt *sqlast.SelectStmt, wantPlan bool, out *queryOutcome) (*exec.Result, error) {
+	ex := db.newExecutor(ctx, s, snap)
 	p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
 	if err != nil {
 		return nil, err
@@ -457,8 +541,8 @@ func (s cacheStructs) Store(n *plan.Spreadsheet, ps *core.PartitionSet) {
 // structCache returns the structure cache view of an entry, or nil when
 // structures are not reusable under the current options (spill-backed
 // stores rebuild per run; B-tree indexes have no cloning support).
-func (db *DB) structCache(e *plancache.Entry) exec.StructureCache {
-	if db.opts.MemoryBudget > 0 || db.opts.UseBTreeIndex {
+func (db *DB) structCache(s *session, e *plancache.Entry) exec.StructureCache {
+	if s.opts.MemoryBudget > 0 || s.opts.UseBTreeIndex {
 		return nil
 	}
 	return cacheStructs{c: db.cache, e: e}
@@ -487,11 +571,17 @@ func isReadOnly(stmts []sqlast.Statement) bool {
 // execution stops at the next cancellation point (operator morsel,
 // spreadsheet partition, cyclic/ITERATE iteration, partition-scan tick) and
 // the context's error is returned. A batch containing DDL/DML holds the
-// statement lock exclusively; a SELECT-only batch runs shared. The lock is
-// only acquired after cancellation is checked, so a timed-out request never
-// queues behind a writer just to fail.
+// statement lock exclusively; a SELECT-only batch runs lock-free against
+// per-statement snapshots. The lock is only acquired after cancellation is
+// checked, so a timed-out request never queues behind a writer just to
+// fail. With a write-ahead log enabled, each mutating statement is logged
+// before it applies and the call returns only after the batch's log records
+// are durable per the configured SyncMode (the group-commit fsync runs
+// after the lock is released, so concurrent writers coalesce fsyncs without
+// serializing behind the disk).
 func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
-	stmts, err := db.prepare(sql)
+	s := db.sess.Load()
+	stmts, err := db.prepare(s, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -502,30 +592,74 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 		return nil, err
 	}
 	if isReadOnly(stmts) {
-		db.stmtMu.RLock()
-		defer db.stmtMu.RUnlock()
-	} else {
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
+		unlock := db.readLock(s)
+		defer unlock()
+		var last *Result
+		for _, stmt := range stmts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, _, err := db.runSelect(ctx, s, stmt.(*sqlast.SelectStmt), false, false)
+			if err != nil {
+				return nil, err
+			}
+			last = wrapResult(res)
+		}
+		return last, nil
 	}
+	db.stmtMu.Lock()
+	last, pos, err := db.execWriteBatch(ctx, s, stmts)
+	db.stmtMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.walCommit(pos); err != nil {
+		return nil, err
+	}
+	return last, nil
+}
+
+// execWriteBatch runs a batch containing at least one mutation; the caller
+// holds the exclusive statement lock. Every mutating statement is appended
+// to the write-ahead log (when enabled) before it executes, and fresh MVCC
+// images are published after it, so lock-free readers only ever pin
+// statement-boundary states. The returned position is the batch's last
+// logged record, for the caller to commit after releasing the lock.
+func (db *DB) execWriteBatch(ctx context.Context, s *session, stmts []sqlast.Statement) (*Result, wal.Pos, error) {
 	var last *Result
+	var pos wal.Pos
 	for _, stmt := range stmts {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, pos, err
 		}
-		var res *exec.Result
 		if sel, ok := stmt.(*sqlast.SelectStmt); ok {
-			res, _, err = db.runSelect(ctx, sel, false, false)
-		} else {
-			ex := db.newExecutor(ctx)
-			res, err = ex.ExecStatement(stmt)
+			res, _, err := db.runSelect(ctx, s, sel, false, false)
+			if err != nil {
+				return nil, pos, err
+			}
+			last = wrapResult(res)
+			continue
 		}
+		p, err := db.logRecord(wal.KindStmt, []byte(sqlast.FormatStatement(stmt)))
 		if err != nil {
-			return nil, err
+			return nil, pos, err
+		}
+		if p != (wal.Pos{}) {
+			pos = p
+		}
+		ex := db.newExecutor(ctx, s, nil)
+		res, err := ex.ExecStatement(stmt)
+		// Publish even on error: a failed statement may have applied
+		// partially (and bumped versions) before failing; readers must see
+		// that state, and WAL replay reproduces it deterministically.
+		db.cat.PublishAll()
+		if err != nil {
+			return nil, pos, err
 		}
 		last = wrapResult(res)
 	}
-	return last, nil
+	db.maybeCheckpointLocked()
+	return last, pos, nil
 }
 
 // MustExec is Exec that panics on error (setup code and examples).
@@ -544,16 +678,17 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryContext is Query with cancellation (see ExecContext).
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	stmt, err := db.prepareQuery(sql)
+	s := db.sess.Load()
+	stmt, err := db.prepareQuery(s, sql)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	res, _, err := db.runSelect(ctx, stmt, false, false)
+	unlock := db.readLock(s)
+	defer unlock()
+	res, _, err := db.runSelect(ctx, s, stmt, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -565,13 +700,14 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 // Result reuse is off whenever MemoryBudget is set, so budgeted runs always
 // report real I/O.
 func (db *DB) QueryStats(sql string) (*Result, blockstore.Stats, error) {
-	stmt, err := db.prepareQuery(sql)
+	s := db.sess.Load()
+	stmt, err := db.prepareQuery(s, sql)
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	res, out, err := db.runSelect(context.Background(), stmt, false, false)
+	unlock := db.readLock(s)
+	defer unlock()
+	res, out, err := db.runSelect(context.Background(), s, stmt, false, false)
 	if err != nil {
 		return nil, blockstore.Stats{}, err
 	}
@@ -588,13 +724,14 @@ type OpStats = exec.Stats
 // serving-path cache's per-call flags and cumulative hit/miss/eviction
 // counters; a result hit reports no operator lines (nothing executed).
 func (db *DB) QueryOpStats(sql string) (*Result, OpStats, error) {
-	stmt, err := db.prepareQuery(sql)
+	s := db.sess.Load()
+	stmt, err := db.prepareQuery(s, sql)
 	if err != nil {
 		return nil, OpStats{}, err
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	res, out, err := db.runSelect(context.Background(), stmt, false, false)
+	unlock := db.readLock(s)
+	defer unlock()
+	res, out, err := db.runSelect(context.Background(), s, stmt, false, false)
 	if err != nil {
 		return nil, OpStats{}, err
 	}
@@ -607,18 +744,19 @@ func (db *DB) QueryOpStats(sql string) (*Result, OpStats, error) {
 // served — but does reuse the cached plan and access structures, so the
 // annotations show exactly what a repeated Query call would reuse.
 func (db *DB) ExplainAnalyze(sql string) (string, error) {
-	stmt, err := db.prepareQuery(sql)
+	s := db.sess.Load()
+	stmt, err := db.prepareQuery(s, sql)
 	if err != nil {
 		return "", err
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	_, out, err := db.runSelect(context.Background(), stmt, true, true)
+	unlock := db.readLock(s)
+	defer unlock()
+	_, out, err := db.runSelect(context.Background(), s, stmt, true, true)
 	if err != nil {
 		return "", err
 	}
 	text := out.planText + "\nexecution:\n" + out.ops.String()
-	if !db.opts.DisablePlanCache {
+	if !s.opts.DisablePlanCache {
 		text += "cache: plan " + hitMiss(out.planHit) + "\n"
 		if out.structReused > 0 {
 			text += fmt.Sprintf("cache: structure reused (table versions %s)\n", out.deps)
@@ -638,21 +776,23 @@ func hitMiss(hit bool) string {
 // spreadsheet analysis (levels, pruned formulas, pushed predicates) and,
 // when the cache is enabled, whether the plan came from it.
 func (db *DB) Explain(sql string) (string, error) {
-	stmt, err := db.prepareQuery(sql)
+	s := db.sess.Load()
+	stmt, err := db.prepareQuery(s, sql)
 	if err != nil {
 		return "", err
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	ex := db.newExecutor(context.Background())
-	if db.opts.DisablePlanCache {
+	unlock := db.readLock(s)
+	defer unlock()
+	snap := db.newSnapshot(s)
+	ex := db.newExecutor(context.Background(), s, snap)
+	if s.opts.DisablePlanCache {
 		p, err := plan.Build(db.cat, stmt, ex.Opts.PlanOpts)
 		if err != nil {
 			return "", err
 		}
 		return plan.Explain(p), nil
 	}
-	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: db.cfgFP}
+	key := plancache.Key{Stmt: sqlast.Fingerprint(stmt), Cfg: s.fp}
 	e := db.cache.Entry(key)
 	// Explain mutates the plan's spreadsheet Model (lazy Analyze), so it
 	// must hold the entry's execution lock like any other plan use.
@@ -664,7 +804,7 @@ func (db *DB) Explain(sql string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		deps, sheets := plancache.CollectDeps(db.cat, stmt, p)
+		deps, sheets := plancache.CollectDeps(db.cat, stmt, p, snap)
 		db.cache.SetPlan(e, stmt, p, deps, sheets)
 	}
 	return plan.Explain(p) + "cache: plan " + hitMiss(hit) + "\n", nil
@@ -678,9 +818,15 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 		sc[i] = types.Column(c)
 	}
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	_, err := db.cat.Create(name, types.NewSchema(sc...))
-	return err
+	pos, err := db.logRecord(wal.KindCreate, wal.EncodeCreate(name, sc))
+	if err == nil {
+		_, err = db.cat.Create(name, types.NewSchema(sc...))
+	}
+	db.stmtMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.walCommit(pos)
 }
 
 // Column declares one table column.
@@ -695,33 +841,78 @@ func ColBool(name string) Column   { return Column{Name: name, Kind: types.KindB
 // Insert appends rows to a table programmatically. Values may be Go ints,
 // floats, strings, bools, nil, or Value.
 func (db *DB) Insert(table string, rows ...[]any) error {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	t, ok := db.cat.Get(table)
-	if !ok {
-		return fmt.Errorf("unknown table %q", table)
-	}
-	for _, r := range rows {
+	conv := make([]types.Row, len(rows))
+	for j, r := range rows {
 		row := make(types.Row, len(r))
 		for i, v := range r {
 			row[i] = ToValue(v)
 		}
-		if err := t.Insert(row); err != nil {
-			return err
-		}
+		conv[j] = row
 	}
-	return nil
+	db.stmtMu.Lock()
+	pos, err := db.insertLocked(table, conv)
+	db.cat.PublishAll()
+	db.stmtMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.walCommit(pos)
 }
 
-// LoadCSV bulk-loads CSV data into an existing table.
-func (db *DB) LoadCSV(table string, r io.Reader, skipHeader bool) (int, error) {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+// insertLocked logs and applies a programmatic row load; the caller holds
+// the exclusive statement lock. The record is appended before t.Insert runs
+// (replay re-applies through the same coercion, re-failing at the same row
+// if the original failed mid-batch).
+func (db *DB) insertLocked(table string, rows []types.Row) (wal.Pos, error) {
 	t, ok := db.cat.Get(table)
 	if !ok {
-		return 0, fmt.Errorf("unknown table %q", table)
+		return wal.Pos{}, fmt.Errorf("unknown table %q", table)
 	}
-	return t.LoadCSV(r, skipHeader)
+	pos, err := db.logRecord(wal.KindRows, wal.EncodeRows(table, rows))
+	if err != nil {
+		return pos, err
+	}
+	for _, row := range rows {
+		if err := t.Insert(row); err != nil {
+			return pos, err
+		}
+	}
+	return pos, nil
+}
+
+// LoadCSV bulk-loads CSV data into an existing table. Unlike the other
+// mutators, the delta is logged after the load (an io.Reader cannot be
+// replayed): a crash between apply and append loses the load, but the call
+// had not returned, so durability-implies-acknowledged still holds.
+func (db *DB) LoadCSV(table string, r io.Reader, skipHeader bool) (int, error) {
+	db.stmtMu.Lock()
+	n, pos, err := db.loadCSVLocked(table, r, skipHeader)
+	db.cat.PublishAll()
+	db.stmtMu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	return n, db.walCommit(pos)
+}
+
+func (db *DB) loadCSVLocked(table string, r io.Reader, skipHeader bool) (int, wal.Pos, error) {
+	t, ok := db.cat.Get(table)
+	if !ok {
+		return 0, wal.Pos{}, fmt.Errorf("unknown table %q", table)
+	}
+	before := len(t.Rows)
+	n, err := t.LoadCSV(r, skipHeader)
+	var pos wal.Pos
+	if len(t.Rows) > before {
+		// Log whatever actually landed (possibly a partial batch when err
+		// is non-nil) so replay reproduces the same state.
+		p, logErr := db.logRecord(wal.KindRows, wal.EncodeRows(table, t.Rows[before:]))
+		if logErr != nil && err == nil {
+			err = logErr
+		}
+		pos = p
+	}
+	return n, pos, err
 }
 
 // Tables lists the catalog's table names (materialized views included:
@@ -734,15 +925,17 @@ func (db *DB) Views() []string { return db.cat.ViewNames() }
 // MatViews lists the catalog's materialized view names.
 func (db *DB) MatViews() []string { return db.cat.MatViewNames() }
 
-// TableRows returns the row count of a table (0 if absent).
+// TableRows returns the row count of a table (0 if absent), read from the
+// table's published MVCC image so it never blocks behind a writer.
 func (db *DB) TableRows(name string) int {
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
+	s := db.sess.Load()
+	unlock := db.readLock(s)
+	defer unlock()
 	t, ok := db.cat.Get(name)
 	if !ok {
 		return 0
 	}
-	return len(t.Rows)
+	return len(t.Img().Rows)
 }
 
 // CacheCounters is a snapshot of the serving-path cache's cumulative
@@ -794,8 +987,13 @@ func ToValue(v any) Value {
 	return types.NewString(fmt.Sprint(v))
 }
 
-func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
-	o := db.opts
+// newExecutor builds an executor for one statement. snap, when non-nil, is
+// the statement's MVCC snapshot: every table access (including plan-time
+// reference-subquery execution, since the executor doubles as the planner's
+// RefExecutor) pins and reads published images. DML executors pass nil and
+// read live rows under the exclusive statement lock.
+func (db *DB) newExecutor(ctx context.Context, s *session, snap *catalog.Snapshot) *exec.Executor {
+	o := s.opts
 	ex := exec.New(db.cat, exec.Options{
 		Ctx:                    ctx,
 		Parallel:               o.Parallel,
@@ -814,7 +1012,9 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		DisableVectorizedExec:  o.DisableVectorizedExec,
 		DisableVectorizedRules: o.DisableVectorizedRules,
 		VecMinRows:             o.VecMinRows,
-		Dist:                   db.dist,
+		Dist:                   s.dist,
+		Snap:                   snap,
+		FastLocalPath:          o.MemoryBudget == 0 && !o.DisableFastLocalPath,
 	})
 	ex.Opts.PlanOpts = &plan.Options{
 		ForceJoin:              o.ForceJoin,
@@ -832,7 +1032,7 @@ func (db *DB) newExecutor(ctx context.Context) *exec.Executor {
 		DisableParallelSort:    o.DisableParallelSort,
 		DisableVectorizedExec:  o.DisableVectorizedExec,
 		DisableVectorizedRules: o.DisableVectorizedRules,
-		Distributed:            db.dist != nil,
+		Distributed:            s.dist != nil,
 		Exec:                   ex,
 	}
 	return ex

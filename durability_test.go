@@ -1,0 +1,177 @@
+package sqlsheet_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlsheet"
+)
+
+// walFactDB builds the warehouse with the WAL attached from the start, so
+// every mutation below is logged.
+func walFactDB(t *testing.T, dir string, mode sqlsheet.SyncMode) *sqlsheet.DB {
+	t.Helper()
+	db := sqlsheet.Open()
+	if err := db.EnableWAL(dir, mode); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// recoverDB opens a fresh database over the same log directory.
+func recoverDB(t *testing.T, dir string) *sqlsheet.DB {
+	t.Helper()
+	db := sqlsheet.Open()
+	if err := db.EnableWAL(dir, sqlsheet.SyncGroup); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// populate drives every logged mutation path: SQL DDL/DML (statement
+// records), programmatic CreateTable/Insert (create + rows records),
+// LoadCSV (rows records), views and a materialized view.
+func populate(t *testing.T, db *sqlsheet.DB) {
+	t.Helper()
+	db.MustExec(`CREATE TABLE f (r TEXT, p TEXT, t INT, s FLOAT)`)
+	for ti := 1995; ti <= 2002; ti++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO f VALUES ('west','dvd',%d,%d), ('east','vcr',%d,%d)`,
+			ti, ti-1990, ti, 2*(ti-1990)))
+	}
+	db.MustExec(`UPDATE f SET s = s * 10 WHERE t = 2000`)
+	db.MustExec(`DELETE FROM f WHERE t = 1996`)
+	db.MustExec(`CREATE VIEW vw AS SELECT r, SUM(s) AS total FROM f GROUP BY r`)
+	db.MustExec(`CREATE MATERIALIZED VIEW mv AS SELECT p, MAX(s) AS peak FROM f GROUP BY p`)
+
+	if err := db.CreateTable("dims", sqlsheet.ColString("k"), sqlsheet.ColInt("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("dims", []any{"alpha", int64(1)}, []any{"beta", int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadCSV("dims", strings.NewReader("k,v\ngamma,3\ndelta,4\n"), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stateQueries covers every object populate creates, including a
+// spreadsheet clause so recovered state feeds the full engine.
+var stateQueries = []string{
+	`SELECT r, p, t, s FROM f ORDER BY r, p, t`,
+	`SELECT r, total FROM vw ORDER BY r`,
+	`SELECT p, peak FROM mv ORDER BY p`,
+	`SELECT k, v FROM dims ORDER BY k`,
+	`SELECT r, p, t, s FROM f
+		SPREADSHEET PBY(r) DBY (p, t) MEA (s)
+		( s[*, 2002] = s[cv(p), 2001] * 2 )`,
+}
+
+func assertSameState(t *testing.T, want, got *sqlsheet.DB) {
+	t.Helper()
+	for _, q := range stateQueries {
+		w, err := want.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		g, err := got.Query(q)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", q, err)
+		}
+		if !sameResults(w, g) {
+			t.Fatalf("recovered state differs for %s:\noriginal:  %v\nrecovered: %v", q, w.Rows, g.Rows)
+		}
+	}
+}
+
+func TestWALRecoverRoundTrip(t *testing.T) {
+	for _, mode := range []sqlsheet.SyncMode{sqlsheet.SyncGroup, sqlsheet.SyncAlways, sqlsheet.SyncNone} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			dir := t.TempDir()
+			db := walFactDB(t, dir, mode)
+			populate(t, db)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			db2 := recoverDB(t, dir)
+			c, ok := db2.WALCounters()
+			if !ok || c.Replayed == 0 {
+				t.Fatalf("no records replayed (counters %+v ok=%v)", c, ok)
+			}
+			assertSameState(t, db, db2)
+		})
+	}
+}
+
+// TestWALCheckpointRecover compacts the log into a snapshot segment and
+// verifies recovery from the compacted form alone.
+func TestWALCheckpointRecover(t *testing.T) {
+	dir := t.TempDir()
+	db := walFactDB(t, dir, sqlsheet.SyncGroup)
+	populate(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := db.WALCounters()
+	if c.Checkpoints != 1 || c.Segments != 1 {
+		t.Fatalf("after checkpoint: %+v, want 1 checkpoint and 1 segment", c)
+	}
+	// Post-checkpoint mutations append to the compacted log.
+	db.MustExec(`INSERT INTO f VALUES ('north','tv',2002,42)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := recoverDB(t, dir)
+	assertSameState(t, db, db2)
+}
+
+// TestWALReplayedFailureIsDeterministic: a failing statement is logged
+// before it applies, so recovery re-fails it the same way and converges on
+// the same state.
+func TestWALReplayedFailureIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	db := walFactDB(t, dir, sqlsheet.SyncGroup)
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	db.MustExec(`INSERT INTO t VALUES (1)`)
+	// Batch where the second statement fails: the first stays applied
+	// (statement-level atomicity), and both are in the log.
+	if _, err := db.Exec(`INSERT INTO t VALUES (2); INSERT INTO missing VALUES (3)`); err == nil {
+		t.Fatal("expected error from INSERT into missing table")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := recoverDB(t, dir)
+	w := db.MustExec(`SELECT a FROM t ORDER BY a`)
+	g, err := db2.Query(`SELECT a FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(w, g) {
+		t.Fatalf("recovered %v, want %v", g.Rows, w.Rows)
+	}
+}
+
+// TestWALRecoverAPB: an APB install is logged as its scale parameters and
+// regenerated deterministically at recovery.
+func TestWALRecoverAPB(t *testing.T) {
+	dir := t.TempDir()
+	db := walFactDB(t, dir, sqlsheet.SyncGroup)
+	scale := sqlsheet.APBScale{ProductFanout: []int{2, 2}, Channels: 2, Customers: 4, Years: 2, Density: 1}
+	if _, err := db.InstallAPB(scale); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := recoverDB(t, dir)
+	for _, tbl := range db.Tables() {
+		if db.TableRows(tbl) != db2.TableRows(tbl) {
+			t.Fatalf("table %s: %d rows recovered, want %d", tbl, db2.TableRows(tbl), db.TableRows(tbl))
+		}
+	}
+}

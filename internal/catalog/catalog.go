@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"sqlsheet/internal/colstore"
+	"sqlsheet/internal/mvcc"
 	"sqlsheet/internal/types"
 )
 
@@ -35,6 +36,13 @@ type Table struct {
 	// image, keyed by the Version it was built at (see Columnar).
 	colMu  sync.Mutex
 	colImg atomic.Pointer[colImage]
+
+	// img is the last published MVCC image: the row set readers under
+	// snapshot isolation scan. Writers publish at statement boundaries
+	// (Publish / Catalog.PublishAll) while holding the exclusive statement
+	// lock; readers pin it lock-free through a Snapshot. See internal/mvcc
+	// for the copy-on-write discipline that makes this safe.
+	img atomic.Pointer[mvcc.Image]
 }
 
 // colImage is one cached columnar image: the table's rows transposed into
@@ -86,6 +94,47 @@ func (t *Table) Columnar() *colstore.Table {
 	return img
 }
 
+// Publish installs the table's current rows as its readable MVCC image.
+// The caller must hold the lock that makes t.Rows safe to read (the
+// exclusive statement lock, or exclusive ownership of a fresh table). When
+// the live columnar cache is fresh at the published version the image
+// inherits it, so the snapshot and no-snapshot paths share one
+// transposition.
+func (t *Table) Publish() {
+	v := t.Version.Load()
+	im := mvcc.NewImage(v, t.Schema.Len(), t.Rows)
+	if ci := t.colImg.Load(); ci.fresh(v, t.Rows) {
+		im.SeedColumnar(ci.img)
+	}
+	t.img.Store(im)
+}
+
+// Img returns the table's last published image. Catalog-registered tables
+// always have one (Create and CreateMatView publish before the table
+// becomes visible); for a Table constructed directly — tests, the shard
+// workers' ephemeral catalogs — it falls back to a one-off image of the
+// live rows, which those single-owner callers read safely by construction.
+func (t *Table) Img() *mvcc.Image {
+	if im := t.img.Load(); im != nil {
+		return im
+	}
+	return mvcc.NewImage(t.Version.Load(), t.Schema.Len(), t.Rows)
+}
+
+// PublishAll publishes every table whose rows changed since its last image
+// (version bumped, or the slice swapped wholesale). The database calls it
+// at the end of every mutating statement, under the exclusive statement
+// lock, so readers pin only statement-boundary states.
+func (c *Catalog) PublishAll() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if !t.img.Load().Covers(t.Version.Load(), t.Rows) {
+			t.Publish()
+		}
+	}
+}
+
 // Catalog is a registry of tables. It is safe for concurrent readers with a
 // single writer per table.
 type Catalog struct {
@@ -110,6 +159,10 @@ func (c *Catalog) Create(name string, schema *types.Schema) (*Table, error) {
 		return nil, fmt.Errorf("table %q already exists", name)
 	}
 	t := &Table{Name: name, Schema: schema}
+	// Publish the empty image before the table becomes visible, so a
+	// snapshot reader racing the creating statement pins a well-defined
+	// (empty) state instead of nil.
+	t.Publish()
 	c.tables[name] = t
 	return t, nil
 }

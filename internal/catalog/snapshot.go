@@ -1,0 +1,61 @@
+package catalog
+
+import (
+	"sync"
+
+	"sqlsheet/internal/mvcc"
+)
+
+// Snapshot pins per-table MVCC images for the duration of one statement.
+// Pinning is lazy — a table's image is captured at the statement's first
+// access to it — which is equivalent to pinning everything up front because
+// writers publish only at statement boundaries (a mutating statement
+// touches one table's rows and publishes once it completes), so any
+// combination of pins is a state some serial statement order produced.
+//
+// A Snapshot is safe for concurrent use by the executor's worker
+// goroutines: the pin map is mutex-guarded, and the Images themselves are
+// immutable.
+type Snapshot struct {
+	mu   sync.Mutex
+	pins map[*Table]*mvcc.Image
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{pins: make(map[*Table]*mvcc.Image)}
+}
+
+// Pin returns the table's image as of this snapshot's first access to it.
+// Repeated calls return the same image even if writers have published newer
+// versions since.
+func (s *Snapshot) Pin(t *Table) *mvcc.Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if im := s.pins[t]; im != nil {
+		return im
+	}
+	im := t.Img()
+	s.pins[t] = im
+	return im
+}
+
+// Pinned returns t's pinned version without pinning it; ok is false when
+// the snapshot never read t.
+func (s *Snapshot) Pinned(t *Table) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	im := s.pins[t]
+	if im == nil {
+		return 0, false
+	}
+	return im.Version, true
+}
+
+// Version returns the pinned version of a table (pinning it if needed).
+// The plan cache stamps result dependencies with pinned — not live —
+// versions so a result computed against snapshot V can never be registered
+// under a later version installed mid-flight.
+func (s *Snapshot) Version(t *Table) int64 {
+	return s.Pin(t).Version
+}

@@ -107,6 +107,9 @@ func (c *Catalog) CreateMatView(mv *MatView) error {
 	}
 	mv.Name = name
 	mv.Table.Name = name
+	// The backing table was constructed outside Create; publish its image
+	// before it becomes visible to snapshot readers.
+	mv.Table.Publish()
 	c.mviews[name] = mv
 	c.tables[name] = mv.Table
 	return nil

@@ -16,6 +16,11 @@ import (
 type PartitionSet struct {
 	model   *Model
 	buckets []*bucket
+	// shareRows records that the structure was built with
+	// BuildOptions.ShareRows: stored rows are shared with the input
+	// relation and Rows hands them out by reference. Carried across
+	// CloneForReuse so reused structures keep the fast path.
+	shareRows bool
 }
 
 type bucket struct {
@@ -218,7 +223,13 @@ func (ps *PartitionSet) Rows(updatedOnly bool) []types.Row {
 				if updatedOnly && !f.updated[pos] {
 					continue
 				}
-				out = append(out, b.store.Get(id).Clone())
+				r := b.store.Get(id)
+				if !ps.shareRows {
+					// Spill-capable stores may reuse row storage after
+					// Close; hand out private copies.
+					r = r.Clone()
+				}
+				out = append(out, r)
 			}
 		}
 	}

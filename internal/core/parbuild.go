@@ -48,6 +48,13 @@ type BuildOptions struct {
 	// columns. The key bytes are identical to the row path's
 	// (colstore.Column.AppendKey is pinned to types.AppendKey).
 	Cols *ColSource
+	// ShareRows stores input rows by reference instead of cloning them into
+	// the bucket stores, and hands stored rows out of PartitionSet.Rows by
+	// reference too (the unbudgeted in-memory fast path). Safe because the
+	// engine replaces stored rows copy-on-write (SetMeasure clones before
+	// Set) and never mutates one in place; only valid for memory-resident
+	// stores, which never serialize rows across a spill boundary.
+	ShareRows bool
 }
 
 // ColSource maps working-schema ordinals to columnar vectors. Cols is
@@ -98,7 +105,7 @@ func BuildPartitionsOpts(m *Model, rows []types.Row, nBuckets int, newStore Stor
 	if nBuckets < 1 {
 		nBuckets = 1
 	}
-	ps := &PartitionSet{model: m}
+	ps := &PartitionSet{model: m, shareRows: o.ShareRows}
 	ps.buckets = make([]*bucket, nBuckets)
 	for i := range ps.buckets {
 		ps.buckets[i] = &bucket{store: newStore(), byKey: make(map[string]*Frame)}
@@ -112,7 +119,7 @@ func BuildPartitionsOpts(m *Model, rows []types.Row, nBuckets int, newStore Stor
 	})
 	errs := make([]error, nBuckets)
 	runBuildTasks(o.Workers, nBuckets, func(bi int) {
-		errs[bi] = assembleBucket(m, ps.buckets[bi], rows, chunks, int32(bi), o.UseBTree)
+		errs[bi] = assembleBucket(m, ps.buckets[bi], rows, chunks, int32(bi), o)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -203,7 +210,7 @@ func scanChunk(m *Model, rows []types.Row, lo, hi, nBuckets int, cols *ColSource
 // store in second-level hash order so partitions stay block-clustered — the
 // same layout the serial build produces ("the hash access structure maintains
 // records within a hash bucket clustered on PBY and DBY column values").
-func assembleBucket(m *Model, b *bucket, rows []types.Row, chunks []*buildChunk, bi int32, useBTree bool) error {
+func assembleBucket(m *Model, b *bucket, rows []types.Row, chunks []*buildChunk, bi int32, o BuildOptions) error {
 	slot := make(map[*Frame]int)
 	var ents [][]frameEntry
 	for _, c := range chunks {
@@ -219,7 +226,7 @@ func assembleBucket(m *Model, b *bucket, rows []types.Row, chunks []*buildChunk,
 					pby:     append([]types.Value(nil), rows[c.lo+i][:m.NPby]...),
 					present: make(map[string]bool),
 				}
-				if useBTree {
+				if o.UseBTree {
 					f.bidx = btree.New()
 				} else {
 					f.index = make(map[string]int)
@@ -246,7 +253,11 @@ func assembleBucket(m *Model, b *bucket, rows []types.Row, chunks []*buildChunk,
 				return fmt.Errorf("spreadsheet: DBY columns (%s) do not uniquely identify row %v within its partition",
 					joinNames(m.DimNames()), rows[e.ri][m.NPby:m.NPby+m.NDby])
 			}
-			id := b.store.Append(rows[e.ri].Clone())
+			r := rows[e.ri]
+			if !o.ShareRows {
+				r = r.Clone()
+			}
+			id := b.store.Append(r)
 			dk := string(e.key) // stored in index and present set
 			f.putKey(dk, len(f.ids))
 			f.ids = append(f.ids, id)

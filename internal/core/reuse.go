@@ -17,7 +17,7 @@ import (
 // mutate is copied (ids, the DBY hash index, the store's row table) or
 // reset (updated marks, convergence flags, key scratch).
 func (ps *PartitionSet) CloneForReuse() *PartitionSet {
-	cp := &PartitionSet{model: ps.model, buckets: make([]*bucket, len(ps.buckets))}
+	cp := &PartitionSet{model: ps.model, buckets: make([]*bucket, len(ps.buckets)), shareRows: ps.shareRows}
 	for bi, b := range ps.buckets {
 		ms, ok := b.store.(*blockstore.MemStore)
 		if !ok {

@@ -83,6 +83,12 @@ type RunOptions struct {
 	// build and before any formula evaluation — the window in which
 	// CloneForReuse may capture a pristine copy for the serving-path cache.
 	OnBuilt func(*PartitionSet)
+	// FastLocal shares rows across the store boundary instead of cloning
+	// them on the way in (partition build) and out (result assembly) — see
+	// BuildOptions.ShareRows. Only valid with memory-resident stores;
+	// callers gate it on the absence of a memory budget. Results are
+	// byte-identical either way.
+	FastLocal bool
 }
 
 // Run executes the compiled spreadsheet over rows in working-schema layout
@@ -117,9 +123,10 @@ func (m *Model) Run(rows []types.Row, opts RunOptions) ([]types.Row, blockstore.
 	if ps == nil {
 		var err error
 		ps, err = BuildPartitionsOpts(m, rows, nb, newStore, BuildOptions{
-			UseBTree: opts.UseBTreeIndex,
-			Workers:  opts.BuildWorkers,
-			Cols:     opts.Cols,
+			UseBTree:  opts.UseBTreeIndex,
+			Workers:   opts.BuildWorkers,
+			Cols:      opts.Cols,
+			ShareRows: opts.FastLocal,
 		})
 		if err != nil {
 			return nil, blockstore.Stats{}, err

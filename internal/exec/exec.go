@@ -89,6 +89,21 @@ type Options struct {
 	// byte-identical to local execution (see Distributor); a nil or
 	// declining distributor means everything runs in this process.
 	Dist Distributor
+	// Snap, when non-nil, runs the statement under snapshot isolation:
+	// every table scan reads the MVCC image pinned at the statement's first
+	// access instead of the live rows, so SELECTs need no statement lock.
+	// Nil reads the live rows directly — the caller must then hold whatever
+	// lock makes them safe (the exclusive statement lock for DML, or sole
+	// ownership for tests and the shard workers' ephemeral catalogs).
+	Snap *catalog.Snapshot
+	// FastLocalPath lets unbudgeted in-memory spreadsheet runs skip the
+	// defensive row clones at the chunk-store boundary (input rows into the
+	// access structure, result rows out of it). Safe because the engine
+	// never mutates a stored row in place — every write clones and replaces
+	// — and results are byte-identical either way. The DB layer sets it
+	// when MemoryBudget is 0 and the DisableFastLocalPath ablation knob is
+	// off.
+	FastLocalPath bool
 }
 
 // Result is a materialized relation. Img/RowIdx/ColMap, when set, record
@@ -287,7 +302,27 @@ func (ex *Executor) execScan(n *plan.Scan, outer *eval.Binding) (*Result, error)
 	if res, err, ok := ex.execScanVec(n); ok {
 		return res, err
 	}
-	return ex.scanRows(n.Table.Rows, n.Schema(), n.Filter, n.FilterC, outer)
+	return ex.scanRows(ex.tableRows(n.Table), n.Schema(), n.Filter, n.FilterC, outer)
+}
+
+// tableRows returns the rows a scan of t reads: the snapshot-pinned image
+// under snapshot isolation, the live rows otherwise.
+func (ex *Executor) tableRows(t *catalog.Table) []types.Row {
+	if ex.Opts.Snap != nil {
+		return ex.Opts.Snap.Pin(t).Rows
+	}
+	return t.Rows
+}
+
+// tableImage returns the columnar image and matching row set for scans of
+// t. Under snapshot isolation both come from the pinned image, so the
+// vectorized path can never pair a newer transposition with older rows.
+func (ex *Executor) tableImage(t *catalog.Table) (*colstore.Table, []types.Row) {
+	if ex.Opts.Snap != nil {
+		im := ex.Opts.Snap.Pin(t)
+		return im.Columnar(), im.Rows
+	}
+	return t.Columnar(), t.Rows
 }
 
 func (ex *Executor) execCTERef(n *plan.CTERef, outer *eval.Binding) (*Result, error) {

@@ -136,6 +136,11 @@ func (ex *Executor) execSpreadsheet(n *plan.Spreadsheet, outer *eval.Binding) (*
 		Cols:       inCols,
 		Prebuilt:   prebuilt,
 		OnBuilt:    onBuilt,
+		// FastLocalPath is only set for unbudgeted sessions (see
+		// db.newExecutor), so the stores above are memory-resident and rows
+		// may cross the store boundary by reference; the MemoryBudget guard
+		// repeats the invariant for callers constructing Options directly.
+		FastLocal: ex.Opts.FastLocalPath && ex.Opts.MemoryBudget == 0,
 	})
 	ex.bud.release(granted)
 	if prebuilt != nil {

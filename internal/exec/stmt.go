@@ -81,7 +81,10 @@ func (ex *Executor) execDelete(st *sqlast.DeleteStmt) (*Result, error) {
 	return rowCountResult(n), nil
 }
 
-// execUpdate rewrites matching rows in place.
+// execUpdate rewrites matching rows copy-on-write: updated rows are cloned
+// and the whole row slice is replaced, never written in place, so snapshot
+// readers pinned to the previous image keep a frozen row set (and a failing
+// UPDATE leaves the table untouched).
 func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 	t, ok := ex.Cat.Get(st.Table)
 	if !ok {
@@ -106,7 +109,9 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 		exprsC[i] = ex.compileStmtExpr(bs, e)
 	}
 	n := 0
+	next := make([]types.Row, len(t.Rows))
 	for ri, row := range t.Rows {
+		next[ri] = row
 		if st.Where != nil {
 			ctx.Binding.Row = row
 			match, err := evalBoolC(ctx, whereC, st.Where)
@@ -130,10 +135,11 @@ func (ex *Executor) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 			}
 			nr[idx[i]] = cv
 		}
-		t.Rows[ri] = nr
+		next[ri] = nr
 		n++
 	}
 	if n > 0 {
+		t.Rows = next
 		t.Version.Add(1)
 	}
 	return rowCountResult(n), nil

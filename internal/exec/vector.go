@@ -93,14 +93,14 @@ func (ex *Executor) execScanVec(n *plan.Scan) (*Result, error, bool) {
 	if ex.Opts.DisableVectorizedExec {
 		return nil, nil, false
 	}
-	img := n.Table.Columnar()
-	if img == nil || img.NRows != len(n.Table.Rows) {
+	img, tblRows := ex.tableImage(n.Table)
+	if img == nil || img.NRows != len(tblRows) {
 		return nil, nil, false
 	}
-	src := &Result{Schema: n.Schema(), Rows: n.Table.Rows, Img: img}
+	src := &Result{Schema: n.Schema(), Rows: tblRows, Img: img}
 	if n.Filter == nil {
-		rows := make([]types.Row, len(n.Table.Rows))
-		copy(rows, n.Table.Rows)
+		rows := make([]types.Row, len(tblRows))
+		copy(rows, tblRows)
 		return &Result{Schema: n.Schema(), Rows: rows, Img: img}, nil, true
 	}
 	if !vecRunnable(src, n.FilterK) {

@@ -23,7 +23,14 @@ import (
 // A materialized view's sources are deliberately not snapshotted: reads are
 // served from its backing table, which is stale by design until REFRESH
 // (REFRESH bumps the backing table's version).
-func CollectDeps(cat *catalog.Catalog, stmt *sqlast.SelectStmt, p plan.Node) ([]Dep, map[*plan.Spreadsheet]bool) {
+//
+// snap, when non-nil, is the statement's MVCC snapshot: dependency versions
+// come from the snapshot's pins rather than the live catalog, so a result
+// computed against pinned version V is stamped V even if a writer installs
+// V+1 between planning and execution. Stamping from the live catalog here
+// would open a staleness window: deps stamped V+1, rows computed from V,
+// and the entry served as long as the catalog stays at V+1.
+func CollectDeps(cat *catalog.Catalog, stmt *sqlast.SelectStmt, p plan.Node, snap *catalog.Snapshot) ([]Dep, map[*plan.Spreadsheet]bool) {
 	w := &depWalker{cat: cat, names: map[string]bool{}}
 	w.stmt(stmt)
 	sheets := make(map[*plan.Spreadsheet]bool)
@@ -38,7 +45,12 @@ func CollectDeps(cat *catalog.Catalog, stmt *sqlast.SelectStmt, p plan.Node) ([]
 	for _, n := range names {
 		d := Dep{Name: n}
 		if t, ok := cat.Get(n); ok {
-			d.Table, d.Version = t, t.Version.Load()
+			d.Table = t
+			if snap != nil {
+				d.Version = snap.Version(t)
+			} else {
+				d.Version = t.Version.Load()
+			}
 		}
 		if v, ok := cat.ViewDef(n); ok {
 			d.View = v
@@ -49,6 +61,30 @@ func CollectDeps(cat *catalog.Catalog, stmt *sqlast.SelectStmt, p plan.Node) ([]
 		deps = append(deps, d)
 	}
 	return deps, sheets
+}
+
+// DepsMatchSnapshot reports whether every dependency the snapshot actually
+// pinned matches the dependency snapshot's stamped version. The DB layer
+// checks it before registering a result against a cached entry whose deps
+// were stamped by an earlier execution: a mismatch means a writer installed
+// a new version mid-flight, so the rows do not correspond to the stamp and
+// caching them would only waste budget (they could never be served — the
+// live version has moved past the stamp — but skipping the store is
+// cheaper and keeps the invariant auditable). Tables the snapshot never
+// read match trivially.
+func DepsMatchSnapshot(deps []Dep, snap *catalog.Snapshot) bool {
+	if snap == nil {
+		return true
+	}
+	for i := range deps {
+		if deps[i].Table == nil {
+			continue
+		}
+		if v, ok := snap.Pinned(deps[i].Table); ok && v != deps[i].Version {
+			return false
+		}
+	}
+	return true
 }
 
 type depWalker struct {

@@ -1,0 +1,75 @@
+package plancache
+
+import (
+	"testing"
+
+	"sqlsheet/internal/catalog"
+	"sqlsheet/internal/parser"
+	"sqlsheet/internal/plan"
+	"sqlsheet/internal/types"
+)
+
+// TestDepsStampedFromSnapshot is the regression test for the result-cache
+// staleness window: a result computed against pinned version V must be
+// stamped V — never the live catalog version — even when a writer installs
+// V+1 between planning and execution. Otherwise the entry would be stamped
+// V+1 (matching the live catalog) while holding V's rows, and served stale
+// until the next write.
+func TestDepsStampedFromSnapshot(t *testing.T) {
+	cat := catalog.New()
+	tbl, err := cat.Create("t", types.NewSchema(types.Column{Name: "a", Kind: types.KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(types.Row{types.NewInt(1)})
+	tbl.Publish()
+	v := tbl.Version.Load()
+
+	stmt, err := parser.ParseQuery("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(cat, stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The statement pins the table at V, then a concurrent writer publishes
+	// V+1 before the dependency stamp is taken.
+	snap := catalog.NewSnapshot()
+	snap.Pin(tbl)
+	tbl.Insert(types.Row{types.NewInt(2)})
+	tbl.Publish()
+	if live := tbl.Version.Load(); live == v {
+		t.Fatal("publish did not bump the version")
+	}
+
+	deps, _ := CollectDeps(cat, stmt, p, snap)
+	var dep *Dep
+	for i := range deps {
+		if deps[i].Table == tbl {
+			dep = &deps[i]
+		}
+	}
+	if dep == nil {
+		t.Fatalf("no dependency on t in %v", deps)
+	}
+	if dep.Version != v {
+		t.Fatalf("dep stamped %d, want pinned version %d (live is %d)", dep.Version, v, tbl.Version.Load())
+	}
+	if !DepsMatchSnapshot(deps, snap) {
+		t.Fatal("snapshot-stamped deps must match their own snapshot")
+	}
+
+	// Deps stamped from the live catalog (the pre-fix behavior) must be
+	// rejected, keeping the mismatched result out of the cache.
+	liveDeps, _ := CollectDeps(cat, stmt, p, nil)
+	if DepsMatchSnapshot(liveDeps, snap) {
+		t.Fatal("live-stamped deps matched a snapshot pinned at an older version")
+	}
+
+	// A snapshot that never read the table matches trivially.
+	if !DepsMatchSnapshot(liveDeps, catalog.NewSnapshot()) {
+		t.Fatal("unpinned table should match trivially")
+	}
+}

@@ -77,6 +77,10 @@ type Snapshot struct {
 	// process runs one (Config.ShardMetrics); omitted otherwise.
 	Shard any `json:"shard,omitempty"`
 
+	// WAL carries the write-ahead log's durability counters when one is
+	// enabled (sqlsheetd -wal-dir); omitted otherwise.
+	WAL *WALSnapshot `json:"wal,omitempty"`
+
 	Latency struct {
 		Buckets []histBucket `json:"buckets"`
 		Count   int64        `json:"count"`
@@ -91,6 +95,19 @@ type Snapshot struct {
 		Evictions     int64 `json:"evictions"`
 		Invalidations int64 `json:"invalidations"`
 	} `json:"cache"`
+}
+
+// WALSnapshot is the /metrics shape of the write-ahead log counters.
+type WALSnapshot struct {
+	Appends        int64 `json:"appends"`
+	BytesWritten   int64 `json:"bytes_written"`
+	Fsyncs         int64 `json:"fsyncs"`
+	CoalescedSyncs int64 `json:"coalesced_syncs"`
+	Checkpoints    int64 `json:"checkpoints"`
+	Replayed       int64 `json:"replayed"`
+	TruncatedTail  int64 `json:"truncated_tail"`
+	Segments       int64 `json:"segments"`
+	SizeBytes      int64 `json:"size_bytes"`
 }
 
 // snapshot materializes the current counter values.

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlsheet/internal/types"
+	"sqlsheet/internal/wire"
+)
+
+// Record payload codecs. KindStmt payloads are the canonical SQL text and
+// need no codec; the programmatic kinds (KindCreate, KindRows, KindAPB)
+// use the line/tab-separated encodings below. Every field that could
+// contain a tab or newline (names, string values) goes through
+// strconv.Quote / the wire value codec, so the separators are unambiguous.
+
+// kindLetters maps a column kind to its single-letter tag and back.
+var kindLetters = map[types.Kind]byte{
+	types.KindNull:   'n',
+	types.KindInt:    'i',
+	types.KindFloat:  'f',
+	types.KindString: 's',
+	types.KindBool:   'b',
+}
+
+func letterKind(b byte) (types.Kind, bool) {
+	for k, l := range kindLetters {
+		if l == b {
+			return k, true
+		}
+	}
+	return types.KindNull, false
+}
+
+// EncodeCreate encodes a programmatic CreateTable:
+//
+//	"name"\t i"col1"\t s"col2"...
+func EncodeCreate(name string, cols []types.Column) []byte {
+	var b strings.Builder
+	b.WriteString(strconv.Quote(name))
+	for _, c := range cols {
+		b.WriteByte('\t')
+		b.WriteByte(kindLetters[c.Kind])
+		b.WriteString(strconv.Quote(c.Name))
+	}
+	return []byte(b.String())
+}
+
+// DecodeCreate decodes EncodeCreate's payload.
+func DecodeCreate(data []byte) (string, []types.Column, error) {
+	fields := strings.Split(string(data), "\t")
+	name, err := strconv.Unquote(fields[0])
+	if err != nil {
+		return "", nil, fmt.Errorf("wal: create record: bad table name: %v", err)
+	}
+	cols := make([]types.Column, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		if f == "" {
+			return "", nil, fmt.Errorf("wal: create record: empty column spec")
+		}
+		k, ok := letterKind(f[0])
+		if !ok {
+			return "", nil, fmt.Errorf("wal: create record: unknown kind %q", f[0])
+		}
+		cn, err := strconv.Unquote(f[1:])
+		if err != nil {
+			return "", nil, fmt.Errorf("wal: create record: bad column name: %v", err)
+		}
+		cols = append(cols, types.Column{Name: cn, Kind: k})
+	}
+	return name, cols, nil
+}
+
+// EncodeRows encodes a programmatic row load: the quoted table name on the
+// first line, then one row per line with tab-separated wire-encoded values.
+func EncodeRows(table string, rows []types.Row) []byte {
+	var b strings.Builder
+	b.WriteString(strconv.Quote(table))
+	for _, row := range rows {
+		b.WriteByte('\n')
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(wire.EncodeValue(v))
+		}
+	}
+	return []byte(b.String())
+}
+
+// DecodeRows decodes EncodeRows's payload.
+func DecodeRows(data []byte) (string, []types.Row, error) {
+	lines := strings.Split(string(data), "\n")
+	table, err := strconv.Unquote(lines[0])
+	if err != nil {
+		return "", nil, fmt.Errorf("wal: rows record: bad table name: %v", err)
+	}
+	rows := make([]types.Row, 0, len(lines)-1)
+	for _, ln := range lines[1:] {
+		fields := strings.Split(ln, "\t")
+		row := make(types.Row, len(fields))
+		for i, f := range fields {
+			v, err := wire.DecodeValue(f)
+			if err != nil {
+				return "", nil, fmt.Errorf("wal: rows record: %v", err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return table, rows, nil
+}
+
+// APBParams are the deterministic generator inputs of an InstallAPB call;
+// replay regenerates the dataset instead of storing it.
+type APBParams struct {
+	Seed          int64
+	ProductFanout []int
+	Channels      int
+	Customers     int
+	Years         int
+	Density       float64
+}
+
+// EncodeAPB encodes the generator parameters:
+//
+//	seed\tchannels\tcustomers\tyears\tdensity\tfanout1,fanout2,...
+func EncodeAPB(p APBParams) []byte {
+	fan := make([]string, len(p.ProductFanout))
+	for i, f := range p.ProductFanout {
+		fan[i] = strconv.Itoa(f)
+	}
+	return []byte(fmt.Sprintf("%d\t%d\t%d\t%d\t%s\t%s",
+		p.Seed, p.Channels, p.Customers, p.Years,
+		strconv.FormatFloat(p.Density, 'g', -1, 64),
+		strings.Join(fan, ",")))
+}
+
+// DecodeAPB decodes EncodeAPB's payload.
+func DecodeAPB(data []byte) (APBParams, error) {
+	fields := strings.Split(string(data), "\t")
+	if len(fields) != 6 {
+		return APBParams{}, fmt.Errorf("wal: apb record: want 6 fields, got %d", len(fields))
+	}
+	var p APBParams
+	var err error
+	if p.Seed, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return APBParams{}, fmt.Errorf("wal: apb record: %v", err)
+	}
+	ints := []*int{&p.Channels, &p.Customers, &p.Years}
+	for i, dst := range ints {
+		n, err := strconv.Atoi(fields[1+i])
+		if err != nil {
+			return APBParams{}, fmt.Errorf("wal: apb record: %v", err)
+		}
+		*dst = n
+	}
+	if p.Density, err = strconv.ParseFloat(fields[4], 64); err != nil {
+		return APBParams{}, fmt.Errorf("wal: apb record: %v", err)
+	}
+	if fields[5] != "" {
+		for _, f := range strings.Split(fields[5], ",") {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return APBParams{}, fmt.Errorf("wal: apb record: %v", err)
+			}
+			p.ProductFanout = append(p.ProductFanout, n)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,348 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqlsheet/internal/types"
+)
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	err := l.Replay(func(r Record) error {
+		recs = append(recs, Record{Kind: r.Kind, Data: append([]byte(nil), r.Data...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []string{"CREATE TABLE t (a INT)", "INSERT INTO t VALUES (1)", "UPDATE t SET a = 2"}
+	var last Pos
+	for _, p := range payloads {
+		pos, err := l.Append(KindStmt, []byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = pos
+	}
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	if len(recs) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.Kind != KindStmt || string(r.Data) != payloads[i] {
+			t.Fatalf("record %d = %c %q, want S %q", i, r.Kind, r.Data, payloads[i])
+		}
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStmt, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l.Append(KindStmt, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the segment mid-way through the second frame.
+	seg := filepath.Join(dir, segName(pos.seg))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 1 || string(recs[0].Data) != "first" {
+		t.Fatalf("replayed %v, want just the first record", recs)
+	}
+	if l2.Counters().TruncatedTail != 1 {
+		t.Fatalf("TruncatedTail = %d, want 1", l2.Counters().TruncatedTail)
+	}
+}
+
+func TestReplayStopsAtCorruptedPayload(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStmt, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l.Append(KindStmt, []byte("corrupt-me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStmt, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload bit of the middle record.
+	seg := filepath.Join(dir, segName(pos.seg))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("corrupt-me"))
+	data[i] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	// Everything from the corruption on is dropped, including the intact
+	// record after it (it postdates the corruption).
+	if len(recs) != 1 || string(recs[0].Data) != "keep" {
+		t.Fatalf("replayed %d records, want 1 (%v)", len(recs), recs)
+	}
+}
+
+func TestRotationAndNewSegmentPerOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 64) // tiny segments force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(KindStmt, []byte("statement payload that exceeds the threshold")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := l.Counters()
+	if c.Segments < 2 {
+		t.Fatalf("segments = %d, want rotation to have produced several", c.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay sees all ten records across segments, in order.
+	l2, err := Open(dir, SyncNone, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(collect(t, l2)); got != 10 {
+		t.Fatalf("replayed %d records, want 10", got)
+	}
+	// New appends land in a fresh segment, never after an old tail.
+	pos, err := l2.Append(KindStmt, []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.seg <= c.Segments {
+		t.Fatalf("append went to segment %d, want a fresh one", pos.seg)
+	}
+}
+
+func TestCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(KindStmt, []byte("old history")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = l.Checkpoint(func(app func(kind byte, data []byte) error) error {
+		return app(KindStmt, []byte("compacted state"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.Counters()
+	if c.Segments != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", c.Segments)
+	}
+	if c.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", c.Checkpoints)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 1 || string(recs[0].Data) != "compacted state" {
+		t.Fatalf("replay after checkpoint = %v, want only the compacted record", recs)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Pos
+	for i := 0; i < 4; i++ {
+		pos, err := l.Append(KindStmt, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = pos
+	}
+	// Committing the last position first covers the earlier three.
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Counters().Fsyncs
+	if err := l.Commit(Pos{seg: last.seg, end: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Counters()
+	if c.Fsyncs != before {
+		t.Fatalf("covered commit issued an fsync (%d -> %d)", before, c.Fsyncs)
+	}
+	if c.CoalescedSyncs != 1 {
+		t.Fatalf("coalesced = %d, want 1", c.CoalescedSyncs)
+	}
+}
+
+func TestRecordCodecs(t *testing.T) {
+	name, cols, err := DecodeCreate(EncodeCreate("T1", []types.Column{
+		{Name: "a", Kind: types.KindInt},
+		{Name: "weird\tname", Kind: types.KindString},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "T1" || len(cols) != 2 || cols[1].Name != "weird\tname" || cols[1].Kind != types.KindString {
+		t.Fatalf("create round-trip = %q %v", name, cols)
+	}
+
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("tab\tand\nnewline"), types.Null},
+		{types.NewFloat(3.25), types.NewBool(true), types.NewString("")},
+	}
+	table, got, err := DecodeRows(EncodeRows("t", rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "t" || len(got) != 2 {
+		t.Fatalf("rows round-trip = %q %v", table, got)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+
+	p, err := DecodeAPB(EncodeAPB(APBParams{Seed: 7, ProductFanout: []int{2, 3}, Channels: 4, Customers: 5, Years: 2, Density: 0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.ProductFanout) != 2 || p.ProductFanout[1] != 3 || p.Density != 0.1 {
+		t.Fatalf("apb round-trip = %+v", p)
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes as a segment file: replay must never
+// panic, never return an error for corruption (only stop), and must accept
+// its own valid prefix.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a valid log, its truncations, and a bit-flipped variant.
+	dir := f.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l.Append(KindStmt, []byte("CREATE TABLE t (a INT)"))
+	l.Append(KindRows, EncodeRows("t", []types.Row{{types.NewInt(1)}}))
+	l.Append(KindCreate, EncodeCreate("u", []types.Column{{Name: "x", Kind: types.KindFloat}}))
+	l.Close()
+	valid, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, cut := range []int{1, 7, 9, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, SyncNone, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := l.Replay(func(r Record) error {
+			// Decoders must tolerate arbitrary CRC-valid payloads too.
+			switch r.Kind {
+			case KindCreate:
+				DecodeCreate(r.Data)
+			case KindRows:
+				DecodeRows(r.Data)
+			case KindAPB:
+				DecodeAPB(r.Data)
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatalf("replay returned error for corrupt input: %v", err)
+		}
+		_ = n
+	})
+}

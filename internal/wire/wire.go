@@ -390,3 +390,12 @@ func decodeValue(s string) (types.Value, error) {
 	}
 	return types.Null, fmt.Errorf("unknown value tag %q", s[0])
 }
+
+// EncodeValue renders one scalar in the wire value form (N / I<int> /
+// F<exact float> / S<%q> / B0 / B1). The write-ahead log reuses it for row
+// records so WAL payloads round-trip values bit-exactly the same way the
+// protocol does.
+func EncodeValue(v types.Value) string { return encodeValue(v) }
+
+// DecodeValue parses a value rendered by EncodeValue.
+func DecodeValue(s string) (types.Value, error) { return decodeValue(s) }
