@@ -114,6 +114,21 @@ func (db *DB) WALCounters() (WALCounters, bool) {
 // recovery.
 func (db *DB) applyWALRecord(s *session, rec wal.Record) {
 	switch rec.Kind {
+	case wal.KindReset:
+		// A checkpoint's leading marker: the records that follow rebuild
+		// the full state, so everything replayed so far is dropped.
+		// Replay already starts at the newest checkpoint segment, and
+		// recovery runs on a fresh DB, so normally there is nothing to
+		// drop — this keeps the record's meaning honest regardless.
+		for _, name := range db.cat.MatViewNames() {
+			db.cat.DropObject(name)
+		}
+		for _, name := range db.cat.ViewNames() {
+			db.cat.DropObject(name)
+		}
+		for _, name := range db.cat.Names() {
+			db.cat.Drop(name)
+		}
 	case wal.KindStmt:
 		stmts, err := parser.Parse(string(rec.Data))
 		if err != nil {
@@ -178,12 +193,19 @@ func (db *DB) logRecord(kind byte, data []byte) (wal.Pos, error) {
 
 // walCommit makes everything up to pos durable (group commit); called after
 // the statement lock is released so fsyncs coalesce across writers instead
-// of serializing them.
+// of serializing them. Running outside the lock means it can race Close,
+// so the log pointer is loaded under the shared lock; if Close won the
+// race the statement's record was fsynced on the way out (Log.Commit also
+// treats an already-closed log as covered), so nil is correct, not lost
+// durability.
 func (db *DB) walCommit(pos wal.Pos) error {
-	if db.wal == nil {
+	db.stmtMu.RLock()
+	l := db.wal
+	db.stmtMu.RUnlock()
+	if l == nil {
 		return nil
 	}
-	return db.wal.Commit(pos)
+	return l.Commit(pos)
 }
 
 // maybeCheckpointLocked compacts the log when it has outgrown the
@@ -200,7 +222,10 @@ func (db *DB) maybeCheckpointLocked() {
 // Checkpoint compacts the write-ahead log: the full database state is
 // written to a fresh segment as create/row-load records (views and
 // materialized views as their defining statements) and every older segment
-// is deleted, bounding both disk usage and restart replay time.
+// is deleted, bounding both disk usage and restart replay time. The swap
+// is crash-atomic — temp file, fsync, rename, directory fsync, leading
+// reset marker — so a kill at any point recovers either the old history or
+// the checkpoint, never a mix (see wal.Log.Checkpoint).
 //
 // A materialized view is checkpointed by definition, so recovery recomputes
 // it from the restored base tables: an MV that was stale (unREFRESHed) at

@@ -2,6 +2,8 @@ package sqlsheet_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -125,6 +127,42 @@ func TestWALCheckpointRecover(t *testing.T) {
 
 	db2 := recoverDB(t, dir)
 	assertSameState(t, db, db2)
+}
+
+// TestWALCheckpointCrashWindow simulates a kill between a checkpoint
+// becoming durable and the removal of the history it compacted: recovery
+// must rebuild from the checkpoint alone — replaying the leftover history
+// and the checkpoint together would re-insert every row.
+func TestWALCheckpointCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	db := walFactDB(t, dir, sqlsheet.SyncGroup)
+	populate(t, db)
+	preCP, err := os.ReadFile(filepath.Join(dir, "wal-00000001.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`INSERT INTO f VALUES ('north','tv',2002,42)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the pre-checkpoint segment, as if the crash interrupted
+	// its removal.
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), preCP, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := recoverDB(t, dir)
+	assertSameState(t, db, db2)
+	res, err := db2.Query(`SELECT COUNT(*) FROM f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(res.Rows[0][0]); got != "15" {
+		t.Fatalf("recovered f has %s rows, want 15 (duplicated checkpoint replay?)", got)
+	}
 }
 
 // TestWALReplayedFailureIsDeterministic: a failing statement is logged

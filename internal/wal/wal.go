@@ -8,9 +8,14 @@
 // Records never span segments. The writer rotates to a new segment when the
 // current one exceeds the segment threshold, and a checkpoint compacts the
 // whole database state into a fresh segment and deletes every older one.
-// Recovery replays segments in order and stops at the first torn or
-// corrupted frame — under the append-before-ack discipline anything after
-// a torn frame was never acknowledged.
+// The checkpoint swap is crash-atomic: the new segment is written to a
+// temp file, fsynced, renamed into place (its first record a KindReset
+// marker) and the directory fsynced before any old segment is removed;
+// recovery starts at the newest such marker, so no crash window replays
+// old history and checkpoint state together. Recovery replays segments in
+// order and stops at the first torn or corrupted frame — under the
+// append-before-ack discipline anything after a torn frame was never
+// acknowledged.
 //
 // Frame format (little-endian):
 //
@@ -90,6 +95,11 @@ const (
 	// KindAPB replays an InstallAPB call: the generator is deterministic
 	// in its scale parameters, so the record stores only those.
 	KindAPB = 'A'
+	// KindReset marks the start of a checkpoint: replay drops all state
+	// accumulated so far and rebuilds from the records that follow. It is
+	// always the first record of a checkpoint segment, which is how
+	// recovery identifies one.
+	KindReset = 'X'
 )
 
 // Record is one replayed log entry.
@@ -156,6 +166,12 @@ const defaultSegBytes = 16 << 20
 // left untouched for Replay; new appends go to a fresh segment numbered
 // after the newest existing one, so a torn tail in an old segment is never
 // appended over. segBytes <= 0 uses the 16 MiB default.
+//
+// Open also finishes any checkpoint a crash interrupted: leftover temp
+// files (a checkpoint that never became durable) are removed, and segments
+// older than the newest completed checkpoint (durable before the crash cut
+// their removal short) are deleted — replay would skip them anyway, since
+// replaying them and the checkpoint together would duplicate state.
 func Open(dir string, mode SyncMode, segBytes int64) (*Log, error) {
 	if segBytes <= 0 {
 		segBytes = defaultSegBytes
@@ -163,15 +179,97 @@ func Open(dir string, mode SyncMode, segBytes int64) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %v", err)
 	}
+	if err := removeTempFiles(dir); err != nil {
+		return nil, err
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{dir: dir, mode: mode, segBytes: segBytes, segments: segs}
-	if n := len(segs); n > 0 {
-		l.seg = segs[n-1]
+	if err := l.pruneSuperseded(); err != nil {
+		return nil, err
+	}
+	if n := len(l.segments); n > 0 {
+		l.seg = l.segments[n-1]
 	}
 	return l, nil
+}
+
+// removeTempFiles deletes in-progress checkpoint files a crash left behind;
+// they were never renamed, so they were never authoritative.
+func removeTempFiles(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %v", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, tmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("wal: %v", err)
+			}
+		}
+	}
+	return nil
+}
+
+// pruneSuperseded removes segments older than the newest checkpoint
+// segment: a crash between a checkpoint's rename and the removal of the
+// history it replaces leaves them behind, and replaying them would
+// duplicate the checkpointed state. Called from Open, before any appends.
+func (l *Log) pruneSuperseded() error {
+	start := l.replayStart()
+	if start == 0 {
+		return nil
+	}
+	for _, seg := range l.segments[:start] {
+		if err := os.Remove(filepath.Join(l.dir, segName(seg))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: truncate: %v", err)
+		}
+	}
+	l.segments = append([]int64(nil), l.segments[start:]...)
+	return nil
+}
+
+// replayStart returns the index into l.segments where replay must begin:
+// the newest segment that starts with a checkpoint's KindReset marker, or
+// 0 when no checkpoint exists.
+func (l *Log) replayStart() int {
+	for i := len(l.segments) - 1; i > 0; i-- {
+		if startsWithReset(filepath.Join(l.dir, segName(l.segments[i]))) {
+			return i
+		}
+	}
+	return 0
+}
+
+// startsWithReset reports whether the segment's first frame is an intact
+// KindReset record — the marker a completed checkpoint begins with. The
+// rename protocol means a visible checkpoint segment is always durable, so
+// an unreadable or torn first frame simply means "not a checkpoint".
+func startsWithReset(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	// A reset marker is a bare kind byte; anything bigger (including a
+	// garbage length demanding a huge buffer) is some other record.
+	if n != 1 {
+		return false
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(buf) == crc && buf[0] == KindReset
 }
 
 func segName(seg int64) string { return fmt.Sprintf("wal-%08d.log", seg) }
@@ -197,14 +295,17 @@ func listSegments(dir string) ([]int64, error) {
 	return segs, nil
 }
 
-// Replay streams every intact record of every segment, in order, to fn.
-// A torn or corrupted frame ends replay of the log (not just the segment):
-// everything after it postdates the corruption and cannot be trusted to
-// apply against the right state. fn errors abort and are returned; replay
-// never fails on corruption — it just stops.
+// Replay streams every intact record to fn, starting at the newest
+// checkpoint segment (identified by its leading KindReset marker) — any
+// older segment holds history the checkpoint already compacted, and
+// replaying both would duplicate state. With no checkpoint, every segment
+// replays in order. A torn or corrupted frame ends replay of the log (not
+// just the segment): everything after it postdates the corruption and
+// cannot be trusted to apply against the right state. fn errors abort and
+// are returned; replay never fails on corruption — it just stops.
 func (l *Log) Replay(fn func(Record) error) error {
 	l.mu.Lock()
-	segs := append([]int64(nil), l.segments...)
+	segs := append([]int64(nil), l.segments[l.replayStart():]...)
 	l.mu.Unlock()
 	for _, seg := range segs {
 		ok, err := l.replaySegment(filepath.Join(l.dir, segName(seg)), fn)
@@ -359,24 +460,40 @@ func (l *Log) markSynced(pos Pos) {
 // committers pile up here: the first through fsyncs the file (covering
 // everyone appended so far), the rest observe coverage and return without
 // touching the disk (counted as coalesced).
+//
+// Lock order is l.mu before l.syncMu, everywhere: rotation, checkpoint and
+// Close hold l.mu and advance the durable mark via markSynced (which takes
+// syncMu), so Commit must never acquire l.mu while holding syncMu. It
+// snapshots the live file state first, then does all coverage bookkeeping
+// and the fsync under syncMu alone — appenders are still never blocked by
+// the disk.
 func (l *Log) Commit(pos Pos) error {
 	if l.mode != SyncGroup || pos.seg == 0 {
 		return nil
 	}
+	l.mu.Lock()
+	f, seg, off := l.f, l.seg, l.off
+	l.mu.Unlock()
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
 	if pos.seg < l.syncedSeg || (pos.seg == l.syncedSeg && pos.end <= l.syncedOff) {
 		l.coalescedSyncs.Add(1)
 		return nil
 	}
-	// Snapshot the current file/offset under l.mu; the fsync itself runs
-	// under syncMu only, so appenders are not blocked by the disk.
-	l.mu.Lock()
-	f, seg, off := l.f, l.seg, l.off
-	l.mu.Unlock()
-	if f == nil || seg < pos.seg {
+	if f == nil {
+		// The log was closed between the append and this commit. Close
+		// fsyncs and advances the durable mark on the way out, so an
+		// uncovered pos here means pos was never appended to this log;
+		// either way there is nothing left to sync.
+		return nil
+	}
+	if seg < pos.seg {
 		return fmt.Errorf("wal: commit past end of log")
 	}
+	// The snapshotted file cannot be closed under us: rotation, checkpoint
+	// and Close all advance the durable mark — which needs syncMu, held
+	// here — before closing the file they fsynced, and an already-closed
+	// file means pos was covered above.
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %v", err)
 	}
@@ -388,16 +505,37 @@ func (l *Log) Commit(pos Pos) error {
 }
 
 // Checkpoint compacts the database into a fresh segment: write streams the
-// full state as records through app, the segment is fsynced, and every
-// older segment is deleted. The caller must hold the exclusive statement
-// lock so the streamed state is a statement boundary.
+// full state as records through app, and every older segment is deleted.
+// The caller must hold the exclusive statement lock so the streamed state
+// is a statement boundary.
+//
+// The swap is crash-atomic. The checkpoint is written to a temporary file
+// (invisible to recovery), fsynced, renamed to its final segment name, and
+// the directory is fsynced — only then are the old segments removed. Its
+// first record is a KindReset marker, which is how recovery recognizes a
+// checkpoint segment and starts replay there: a crash at any point leaves
+// either the old history fully intact (rename not yet durable; the torn
+// temp file is ignored and cleaned up at the next Open) or the checkpoint
+// authoritative (old segments — whether still present, partially deleted,
+// or gone — are skipped by replay). There is no window where old history
+// and checkpoint records both replay, which would duplicate every row.
 func (l *Log) Checkpoint(write func(app func(kind byte, data []byte) error) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	old := append([]int64(nil), l.segments...)
-	if err := l.rotateLocked(); err != nil {
-		return err
+	oldF := l.f
+	seg := l.seg + 1
+	path := filepath.Join(l.dir, segName(seg))
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %v", err)
 	}
+	abort := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	var off int64
 	app := func(kind byte, data []byte) error {
 		payload := make([]byte, 0, 1+len(data))
 		payload = append(payload, kind)
@@ -405,46 +543,73 @@ func (l *Log) Checkpoint(write func(app func(kind byte, data []byte) error) erro
 		var hdr [8]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-		if _, err := l.f.Write(hdr[:]); err != nil {
+		if _, err := f.Write(hdr[:]); err != nil {
 			return fmt.Errorf("wal: checkpoint: %v", err)
 		}
-		if _, err := l.f.Write(payload); err != nil {
+		if _, err := f.Write(payload); err != nil {
 			return fmt.Errorf("wal: checkpoint: %v", err)
 		}
-		l.off += int64(len(hdr) + len(payload))
+		off += int64(len(hdr) + len(payload))
 		l.appends.Add(1)
 		l.bytesWritten.Add(int64(len(hdr) + len(payload)))
 		return nil
 	}
-	if err := write(app); err != nil {
+	if err := app(KindReset, nil); err != nil {
+		abort()
 		return err
 	}
-	// The checkpoint must be durable before the history it replaces goes
-	// away, whatever the sync mode.
-	if err := l.f.Sync(); err != nil {
+	if err := write(app); err != nil {
+		abort()
+		return err
+	}
+	// The checkpoint must be durable before it becomes visible under its
+	// final name, whatever the sync mode.
+	if err := f.Sync(); err != nil {
+		abort()
 		return fmt.Errorf("wal: fsync: %v", err)
 	}
 	l.fsyncs.Add(1)
-	l.markSynced(Pos{seg: l.seg, end: l.off})
-	kept := l.segments[:0]
-	for _, seg := range l.segments {
-		drop := false
-		for _, o := range old {
-			if seg == o {
-				drop = true
-				break
-			}
-		}
-		if !drop {
-			kept = append(kept, seg)
-			continue
-		}
-		if err := os.Remove(filepath.Join(l.dir, segName(seg))); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := os.Rename(tmp, path); err != nil {
+		abort()
+		return fmt.Errorf("wal: checkpoint: %v", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The rename is durable: the checkpoint is now the authoritative state
+	// and subsequent appends go to its open handle. Advance the durable
+	// mark before closing the old file — an in-flight group commit against
+	// it holds syncMu while fsyncing, so markSynced also orders this close
+	// after that fsync completes.
+	l.f, l.seg, l.off = f, seg, off
+	l.segments = []int64{seg}
+	l.markSynced(Pos{seg: seg, end: off})
+	if oldF != nil {
+		oldF.Close()
+	}
+	for _, o := range old {
+		if err := os.Remove(filepath.Join(l.dir, segName(o))); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("wal: truncate: %v", err)
 		}
 	}
-	l.segments = kept
 	l.checkpoints.Add(1)
+	return nil
+}
+
+// tmpSuffix marks an in-progress checkpoint segment. The suffix keeps it
+// out of listSegments; Open removes leftovers from a crashed checkpoint.
+const tmpSuffix = ".tmp"
+
+// syncDir fsyncs a directory, making a just-completed rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %v", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %v", err)
+	}
 	return nil
 }
 
@@ -455,7 +620,10 @@ func (l *Log) SizeBytes() int64 {
 	defer l.mu.Unlock()
 	var n int64
 	for _, seg := range l.segments {
-		if seg == l.seg {
+		// l.off only tracks a segment this process has open; right after
+		// Open, l.seg aliases the newest pre-existing segment with off 0,
+		// which must be stat'ed like the rest.
+		if seg == l.seg && l.f != nil {
 			n += l.off
 			continue
 		}
@@ -487,7 +655,9 @@ func (l *Log) Counters() Counters {
 // Mode returns the log's sync mode.
 func (l *Log) Mode() SyncMode { return l.mode }
 
-// Close flushes and closes the current segment.
+// Close flushes and closes the current segment. The durable mark is
+// advanced before the file closes, so an in-flight Commit racing Close
+// observes coverage rather than fsyncing a closed file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -499,6 +669,7 @@ func (l *Log) Close() error {
 			return err
 		}
 		l.fsyncs.Add(1)
+		l.markSynced(Pos{seg: l.seg, end: l.off})
 	}
 	err := l.f.Close()
 	l.f = nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"sqlsheet/internal/types"
@@ -212,8 +213,181 @@ func TestCheckpointTruncates(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs := collect(t, l2)
-	if len(recs) != 1 || string(recs[0].Data) != "compacted state" {
-		t.Fatalf("replay after checkpoint = %v, want only the compacted record", recs)
+	if len(recs) != 2 || recs[0].Kind != KindReset || string(recs[1].Data) != "compacted state" {
+		t.Fatalf("replay after checkpoint = %v, want reset marker + compacted record", recs)
+	}
+}
+
+// TestCheckpointCrashBeforeRename simulates a crash while a checkpoint was
+// still streaming into its temp file: the temp file must be ignored by
+// recovery, removed at Open, and the old history must replay intact.
+func TestCheckpointCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStmt, []byte("history")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn checkpoint that never reached its rename.
+	tmp := filepath.Join(dir, segName(2)+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("partial checkpoint frames"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 3 || string(recs[0].Data) != "history" {
+		t.Fatalf("replayed %v, want the 3 history records", recs)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover checkpoint temp file survived Open: %v", err)
+	}
+}
+
+// TestCheckpointCrashBeforeTruncate simulates a crash after the checkpoint
+// segment became durable but before the old segments were removed: replay
+// must start at the checkpoint and never see the old history (which would
+// duplicate every checkpointed row), and Open must prune the stale files.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStmt, []byte("old history")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldSeg := filepath.Join(dir, segName(1))
+	oldBytes, err := os.ReadFile(oldSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = l.Checkpoint(func(app func(kind byte, data []byte) error) error {
+		return app(KindStmt, []byte("compacted state"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the pre-checkpoint segment, as if the crash hit mid-removal.
+	if err := os.WriteFile(oldSeg, oldBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 2 || recs[0].Kind != KindReset || string(recs[1].Data) != "compacted state" {
+		t.Fatalf("replayed %v, want only the checkpoint records", recs)
+	}
+	if _, err := os.Stat(oldSeg); !os.IsNotExist(err) {
+		t.Fatalf("superseded segment survived Open: %v", err)
+	}
+}
+
+// TestCommitConcurrentWithRotation drives group commits against appenders
+// that rotate segments constantly; the old lock order (Commit holding
+// syncMu while acquiring mu, rotation holding mu while acquiring syncMu)
+// deadlocked this in two goroutines.
+func TestCommitConcurrentWithRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncGroup, 256) // tiny segments: rotate every few appends
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				pos, err := l.Append(KindStmt, []byte("a payload long enough to force frequent segment rotation"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Commit(pos); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, SyncGroup, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(collect(t, l2)); got != 200 {
+		t.Fatalf("replayed %d records, want 200", got)
+	}
+}
+
+// TestCommitAfterCloseIsCleanNoop covers the walCommit/Close race: Close
+// fsyncs and advances the durable mark, so a commit that arrives after it
+// finds its position covered and succeeds without touching the closed file.
+func TestCommitAfterCloseIsCleanNoop(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncGroup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l.Append(KindStmt, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(pos); err != nil {
+		t.Fatalf("commit after close = %v, want clean no-op", err)
+	}
+}
+
+// TestSizeBytesCountsPreexistingSegments: right after Open, before any
+// append, the newest on-disk segment shares its number with l.seg but is
+// not open in this process — SizeBytes must stat it, not report zero.
+func TestSizeBytesCountsPreexistingSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStmt, []byte("some durable history")); err != nil {
+		t.Fatal(err)
+	}
+	want := l.SizeBytes()
+	if want == 0 {
+		t.Fatal("SizeBytes = 0 after append")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes after reopen = %d, want %d", got, want)
 	}
 }
 
@@ -317,6 +491,22 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	// A checkpoint segment: leading reset marker, then compacted state.
+	cpDir := f.TempDir()
+	cl, err := Open(cpDir, SyncNone, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := cl.Checkpoint(func(app func(kind byte, data []byte) error) error {
+		return app(KindStmt, []byte("CREATE TABLE t (a INT)"))
+	}); err != nil {
+		f.Fatal(err)
+	}
+	cl.Close()
+	if cp, err := os.ReadFile(filepath.Join(cpDir, segName(1))); err == nil {
+		f.Add(cp)
+		f.Add(cp[:9]) // torn mid-reset-marker
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
